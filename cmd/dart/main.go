@@ -1,0 +1,197 @@
+// Command dart runs the DART pipeline on one document: acquisition,
+// extraction, database generation, consistency checking, card-minimal
+// repair, and (optionally) the interactive operator validation loop.
+//
+// Usage:
+//
+//	dart -in doc.html [-metadata md.txt | -scenario cashbudget|catalog]
+//	     [-interactive] [-show-milp] [-solver milp|cardsearch|greedy]
+//
+// With no -in, the built-in running example of the paper (Fig. 1 with the
+// 250-for-220 acquisition error) is processed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dart"
+	"dart/internal/core"
+	"dart/internal/docgen"
+	"dart/internal/metadata"
+	"dart/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inFile       = flag.String("in", "", "input document (HTML or scan text); empty = built-in running example")
+		metadataFile = flag.String("metadata", "", "designer metadata file")
+		scenarioName = flag.String("scenario", "cashbudget", "built-in scenario when -metadata is absent: cashbudget, catalog or balancesheet")
+		interactive  = flag.Bool("interactive", false, "validate proposed repairs on stdin")
+		showMILP     = flag.Bool("show-milp", false, "print the S*(AC) MILP instance (Fig. 4 style)")
+		solverName   = flag.String("solver", "milp", "repair solver: milp, milp-literal, cardsearch, greedy-aggregate, greedy-local")
+		saveFile     = flag.String("save", "", "write the repaired database to this file (relational text format)")
+		lpFile       = flag.String("save-lp", "", "write the S*(AC) MILP instance to this file (CPLEX LP format)")
+	)
+	flag.Parse()
+
+	md, err := loadMetadata(*metadataFile, *scenarioName)
+	if err != nil {
+		return err
+	}
+	src, err := loadDocument(*inFile)
+	if err != nil {
+		return err
+	}
+	solver, err := pickSolver(*solverName)
+	if err != nil {
+		return err
+	}
+
+	p := &dart.Pipeline{Metadata: md, Solver: solver}
+	if *interactive {
+		p.Operator = &dart.InteractiveOperator{In: os.Stdin, Out: os.Stdout}
+	}
+
+	acq, err := p.Acquire(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Acquired database (%d instances, %d skipped rows, %d row errors) ==\n",
+		len(acq.Instances), len(acq.SkippedRows), len(acq.RowErrors))
+	fmt.Println(acq.Database)
+	for _, s := range acq.SkippedRows {
+		fmt.Printf("skipped row (score %.2f): %s\n", s.BestScore, s.Text)
+	}
+	for _, e := range acq.RowErrors {
+		fmt.Println(e.Error())
+	}
+
+	if acq.Consistent() {
+		fmt.Println("== Database satisfies all aggregate constraints; no repair needed ==")
+		return nil
+	}
+	fmt.Printf("== %d constraint violations detected ==\n", len(acq.Violations))
+	for _, v := range acq.Violations {
+		fmt.Println("  ", v)
+	}
+
+	if *showMILP || *lpFile != "" {
+		sys, err := core.BuildSystem(acq.Database, md.Constraints())
+		if err != nil {
+			return err
+		}
+		comp, err := core.Compile(sys, core.CompileOptions{Formulation: core.FormulationLiteral})
+		if err != nil {
+			return err
+		}
+		if *showMILP {
+			fmt.Println("== MILP instance S*(AC) ==")
+			fmt.Println(comp.FormatProblem())
+		}
+		if *lpFile != "" {
+			f, err := os.Create(*lpFile)
+			if err != nil {
+				return err
+			}
+			if err := comp.Model.WriteLP(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote MILP instance to %s\n", *lpFile)
+		}
+	}
+
+	res, err := p.Repair(acq)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Repair (%d updates) ==\n", res.Repair.Card())
+	for _, u := range res.Repair.Updates {
+		fmt.Println("  ", u)
+	}
+	if res.Validation != nil {
+		fmt.Printf("== Validation: %d iterations, %d decisions (%d accepted, %d rejected) ==\n",
+			res.Validation.Iterations, res.Validation.Examined,
+			res.Validation.Accepted, res.Validation.Rejected)
+	}
+	fmt.Println("== Repaired database ==")
+	fmt.Println(res.Repaired)
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			return err
+		}
+		if err := res.Repaired.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote repaired database to %s\n", *saveFile)
+	}
+	return nil
+}
+
+func loadMetadata(file, scenarioName string) (*metadata.Metadata, error) {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return metadata.Parse(string(src))
+	}
+	switch scenarioName {
+	case "cashbudget":
+		return scenario.CashBudget()
+	case "catalog":
+		return scenario.Catalog()
+	case "balancesheet":
+		return scenario.BalanceSheet()
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want cashbudget, catalog or balancesheet)", scenarioName)
+	}
+}
+
+func loadDocument(file string) (string, error) {
+	if file == "" {
+		// Built-in demo: Fig. 1 with the paper's acquisition error.
+		doc := docgen.RunningExampleDocument()
+		doc.Tables[0].Rows[3][1].Text = "250"
+		return doc.HTML(), nil
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	return string(src), nil
+}
+
+func pickSolver(name string) (core.Solver, error) {
+	switch name {
+	case "milp":
+		return &core.MILPSolver{Formulation: core.FormulationReduced}, nil
+	case "milp-literal":
+		return &core.MILPSolver{Formulation: core.FormulationLiteral}, nil
+	case "cardsearch":
+		return &core.CardinalitySearchSolver{}, nil
+	case "greedy-aggregate":
+		return &core.GreedyAggregateSolver{}, nil
+	case "greedy-local":
+		return &core.GreedyLocalSolver{}, nil
+	default:
+		return nil, fmt.Errorf("unknown solver %q", name)
+	}
+}

@@ -1,0 +1,84 @@
+// Command dartbench regenerates the experimental evaluation: every
+// experiment E1-E10 indexed in DESIGN.md prints as one table (the tables
+// recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	dartbench                 # all experiments, default sizes
+//	dartbench -run E2,E6      # a subset
+//	dartbench -quick          # smaller corpora (fast smoke run)
+//	dartbench -seed 7         # change the corpus seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dart/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dartbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiment ids (E1..E13) or 'all'")
+		quick   = flag.Bool("quick", false, "smaller corpora for a fast run")
+		seed    = flag.Int64("seed", 42, "corpus random seed")
+	)
+	flag.Parse()
+
+	docs := 40
+	e10docs := 30
+	if *quick {
+		docs = 8
+		e10docs = 5
+	}
+
+	type exp struct {
+		id string
+		fn func() (*experiments.Table, error)
+	}
+	all := []exp{
+		{"E1", experiments.E1RunningExample},
+		{"E2", func() (*experiments.Table, error) { return experiments.E2RepairQuality(docs, *seed) }},
+		{"E3", func() (*experiments.Table, error) { return experiments.E3Scaling(2, *seed) }},
+		{"E4", func() (*experiments.Table, error) { return experiments.E4OperatorLoop(docs/2, *seed) }},
+		{"E5", func() (*experiments.Table, error) { return experiments.E5Wrapper(docs/4, *seed) }},
+		{"E6", func() (*experiments.Table, error) { return experiments.E6Baselines(docs/2, *seed) }},
+		{"E7", func() (*experiments.Table, error) { return experiments.E7BigM(*seed) }},
+		{"E8", func() (*experiments.Table, error) { return experiments.E8Formulation(*seed) }},
+		{"E9", func() (*experiments.Table, error) { return experiments.E9Steadiness() }},
+		{"E10", func() (*experiments.Table, error) { return experiments.E10EndToEnd(e10docs, *seed) }},
+		{"E11", func() (*experiments.Table, error) { return experiments.E11Reliability(docs/4, *seed) }},
+		{"E12", func() (*experiments.Table, error) { return experiments.E12ReliabilityGuidedValidation(docs/4, *seed) }},
+		{"E13", func() (*experiments.Table, error) { return experiments.E13ErrorDepth(docs/2, *seed) }},
+	}
+
+	want := map[string]bool{}
+	if *runList != "all" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println(tab.Format())
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

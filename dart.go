@@ -1,0 +1,220 @@
+// Package dart is the public facade of the DART reproduction (Fazzinga,
+// Flesca, Furfaro, Parisi: "DART: A Data Acquisition and Repairing Tool",
+// EDBT 2006): robust acquisition of tabular data from heterogeneous
+// documents, with detection and card-minimal repair of acquisition errors
+// driven by steady aggregate constraints.
+//
+// The Pipeline type mirrors the paper's two macro-modules (Fig. 2):
+//
+//   - the acquisition and extraction module converts the input document to
+//     HTML, extracts row pattern instances with the metadata-driven wrapper,
+//     and generates a relational database instance;
+//   - the repairing module grounds the steady aggregate constraints,
+//     compiles the card-minimal repair problem into a mixed-integer linear
+//     program (Section 5), solves it with the built-in MILP solver, and
+//     drives the operator validation loop (Section 6.3).
+//
+// Quick start:
+//
+//	md, _ := dart.ParseMetadata(metadataText)
+//	p := &dart.Pipeline{Metadata: md}
+//	res, _ := p.Process(documentHTML)
+//	fmt.Println(res.Repaired)
+package dart
+
+import (
+	"fmt"
+
+	"dart/internal/aggrcons"
+	"dart/internal/convert"
+	"dart/internal/core"
+	"dart/internal/dbgen"
+	"dart/internal/metadata"
+	"dart/internal/relational"
+	"dart/internal/validate"
+	"dart/internal/wrapper"
+)
+
+// Re-exported types: the facade's vocabulary for building and inspecting
+// pipelines without importing internal packages directly.
+type (
+	// Metadata is the acquisition designer's configuration.
+	Metadata = metadata.Metadata
+	// Database is a relational database instance.
+	Database = relational.Database
+	// Repair is a set of atomic value updates restoring consistency.
+	Repair = core.Repair
+	// Update is one atomic value update.
+	Update = core.Update
+	// Item addresses one database value.
+	Item = core.Item
+	// Solver computes repairs; see MILPSolver and friends in internal/core.
+	Solver = core.Solver
+	// Operator validates proposed updates.
+	Operator = validate.Operator
+	// OracleOperator is an operator that knows the ground truth.
+	OracleOperator = validate.OracleOperator
+	// InteractiveOperator prompts a human on an io stream pair.
+	InteractiveOperator = validate.InteractiveOperator
+	// Violation is one unsatisfied ground constraint.
+	Violation = aggrcons.Violation
+	// Instance is one extracted row pattern instance.
+	Instance = wrapper.Instance
+	// Skipped describes a document row no pattern matched.
+	Skipped = wrapper.Skipped
+	// RowError describes an instance the database generator dropped.
+	RowError = dbgen.RowError
+	// StringRepair records a wrapper-level correction of a non-numerical
+	// string against its domain.
+	StringRepair = wrapper.Correction
+	// ValidationOutcome reports the finished operator loop.
+	ValidationOutcome = validate.Outcome
+)
+
+// ParseMetadata parses a designer metadata file.
+func ParseMetadata(src string) (*Metadata, error) { return metadata.Parse(src) }
+
+// NewMILPSolver returns the paper's repair solver: card-minimal repair via
+// the S*(AC) mixed-integer program (reduced formulation).
+func NewMILPSolver() Solver { return &core.MILPSolver{Formulation: core.FormulationReduced} }
+
+// Pipeline wires the DART architecture for one document class.
+type Pipeline struct {
+	// Metadata configures extraction and repairing (required).
+	Metadata *Metadata
+	// Solver computes repairs (default: NewMILPSolver()).
+	Solver Solver
+	// Operator validates proposed repairs; nil accepts the first computed
+	// repair without supervision (fully automatic mode).
+	Operator Operator
+	// ReviewPerIteration restarts the repair computation after this many
+	// validations (0 = review whole repairs).
+	ReviewPerIteration int
+}
+
+// Acquisition is the output of the acquisition and extraction module.
+type Acquisition struct {
+	// HTML is the normalized document the wrapper consumed.
+	HTML string
+	// Instances are the extracted row pattern instances.
+	Instances []*Instance
+	// SkippedRows are document rows no pattern matched acceptably.
+	SkippedRows []Skipped
+	// RowErrors are instances the database generator could not convert.
+	RowErrors []RowError
+	// Database is the generated (possibly inconsistent) instance.
+	Database *Database
+	// Violations are the unsatisfied ground constraints of Database.
+	Violations []Violation
+	// StringRepairs lists the dictionary corrections the wrapper applied to
+	// non-numerical strings during extraction (Section 6.2).
+	StringRepairs []StringRepair
+}
+
+// Consistent reports whether the acquired database already satisfies the
+// constraints.
+func (a *Acquisition) Consistent() bool { return len(a.Violations) == 0 }
+
+// Result is the output of the full pipeline.
+type Result struct {
+	Acquisition *Acquisition
+	// Repair is the accepted repair (empty for consistent acquisitions).
+	Repair *Repair
+	// Repaired is the final consistent database.
+	Repaired *Database
+	// Validation reports the operator loop (nil without an Operator).
+	Validation *ValidationOutcome
+}
+
+// Acquire runs the acquisition and extraction module: format detection and
+// conversion, wrapping, database generation, and consistency checking.
+func (p *Pipeline) Acquire(src string) (*Acquisition, error) {
+	if p.Metadata == nil {
+		return nil, fmt.Errorf("dart: pipeline has no metadata")
+	}
+	html, err := convert.ToHTML(src, convert.Detect(src))
+	if err != nil {
+		return nil, fmt.Errorf("dart: format conversion: %w", err)
+	}
+	w := p.Metadata.NewWrapper()
+	instances, skipped, err := w.Extract(html)
+	if err != nil {
+		return nil, fmt.Errorf("dart: extraction: %w", err)
+	}
+	db, rowErrs, err := p.Metadata.NewGenerator().Generate(instances)
+	if err != nil {
+		return nil, fmt.Errorf("dart: database generation: %w", err)
+	}
+	viols, err := aggrcons.Check(db, p.Metadata.Constraints(), 1e-9)
+	if err != nil {
+		return nil, fmt.Errorf("dart: consistency check: %w", err)
+	}
+	var repairs []StringRepair
+	for _, in := range instances {
+		repairs = append(repairs, in.Corrections()...)
+	}
+	return &Acquisition{
+		HTML:          html,
+		Instances:     instances,
+		SkippedRows:   skipped,
+		RowErrors:     rowErrs,
+		Database:      db,
+		Violations:    viols,
+		StringRepairs: repairs,
+	}, nil
+}
+
+// Repair runs the repairing module on an acquired database, including the
+// operator validation loop when an Operator is configured.
+func (p *Pipeline) Repair(acq *Acquisition) (*Result, error) {
+	res := &Result{Acquisition: acq}
+	solver := p.Solver
+	if solver == nil {
+		solver = NewMILPSolver()
+	}
+	if acq.Consistent() {
+		res.Repair = &core.Repair{}
+		res.Repaired = acq.Database
+		return res, nil
+	}
+	if p.Operator == nil {
+		r, err := solver.FindRepair(acq.Database, p.Metadata.Constraints(), nil)
+		if err != nil {
+			return nil, fmt.Errorf("dart: repair: %w", err)
+		}
+		if r.Repair == nil {
+			return nil, fmt.Errorf("dart: no repair found (status %v)", r.Status)
+		}
+		repaired, err := core.VerifyRepairs(acq.Database, p.Metadata.Constraints(), r.Repair, 1e-6)
+		if err != nil {
+			return nil, err
+		}
+		res.Repair = r.Repair
+		res.Repaired = repaired
+		return res, nil
+	}
+	session := &validate.Session{
+		DB:                 acq.Database,
+		Constraints:        p.Metadata.Constraints(),
+		Solver:             solver,
+		Operator:           p.Operator,
+		ReviewPerIteration: p.ReviewPerIteration,
+	}
+	out, err := session.Run()
+	if err != nil {
+		return nil, fmt.Errorf("dart: validation loop: %w", err)
+	}
+	res.Repair = out.Final
+	res.Repaired = out.Repaired
+	res.Validation = out
+	return res, nil
+}
+
+// Process runs the complete pipeline on one document.
+func (p *Pipeline) Process(src string) (*Result, error) {
+	acq, err := p.Acquire(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Repair(acq)
+}

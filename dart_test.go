@@ -1,0 +1,268 @@
+package dart_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dart"
+	"dart/internal/docgen"
+	"dart/internal/ocr"
+	"dart/internal/relational"
+	"dart/internal/scenario"
+	"dart/internal/validate"
+)
+
+func cashBudgetPipeline(t *testing.T) *dart.Pipeline {
+	t.Helper()
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dart.Pipeline{Metadata: md}
+}
+
+func TestPipelineCleanDocument(t *testing.T) {
+	p := cashBudgetPipeline(t)
+	res, err := p.Process(docgen.RunningExampleDocument().HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Acquisition.Consistent() {
+		t.Errorf("clean document reported inconsistent: %v", res.Acquisition.Violations)
+	}
+	if res.Repair.Card() != 0 {
+		t.Errorf("repair card = %d", res.Repair.Card())
+	}
+	if res.Repaired.Relation("CashBudget").Len() != 20 {
+		t.Errorf("tuples = %d", res.Repaired.Relation("CashBudget").Len())
+	}
+}
+
+func TestPipelineRepairsRunningExampleError(t *testing.T) {
+	// Inject exactly the paper's error (220 -> 250) at the document level
+	// and run the full unsupervised pipeline.
+	doc := docgen.RunningExampleDocument()
+	doc.Tables[0].Rows[3][1].Text = "250" // total cash receipts 2003 value
+	p := cashBudgetPipeline(t)
+	res, err := p.Process(doc.HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquisition.Consistent() {
+		t.Fatal("error not detected")
+	}
+	if len(res.Acquisition.Violations) != 2 {
+		t.Errorf("violations = %d, want 2", len(res.Acquisition.Violations))
+	}
+	if res.Repair.Card() != 1 {
+		t.Fatalf("repair = %v", res.Repair)
+	}
+	u := res.Repair.Updates[0]
+	if u.Old != relational.Int(250) || u.New != relational.Int(220) {
+		t.Errorf("update = %v, want 250 -> 220", u)
+	}
+}
+
+func TestPipelineWithOracleOperator(t *testing.T) {
+	truth := docgen.BudgetDatabase(docgen.RunningExampleBudget())
+	doc := docgen.RunningExampleDocument()
+	doc.Tables[1].Rows[1][1].Text = "700" // cash sales 2004: true value 100
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &dart.Pipeline{
+		Metadata: md,
+		Operator: &validate.OracleOperator{Truth: truth},
+	}
+	res, err := p.Process(doc.HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Validation == nil {
+		t.Fatal("no validation outcome")
+	}
+	got := res.Repaired.Relation("CashBudget")
+	want := truth.Relation("CashBudget")
+	for i, tp := range got.Tuples() {
+		if tp.String() != want.Tuples()[i].String() {
+			t.Errorf("tuple %d: %s, want %s", i, tp, want.Tuples()[i])
+		}
+	}
+}
+
+func TestPipelineScanTextPath(t *testing.T) {
+	// Paper path: the OCR text layer goes through the format converter.
+	doc := docgen.RunningExampleDocument()
+	doc.Tables[0].Rows[3][1].Text = "250"
+	p := cashBudgetPipeline(t)
+	res, err := p.Process(doc.ScanText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repair.Card() != 1 {
+		t.Fatalf("repair = %v", res.Repair)
+	}
+	if res.Repair.Updates[0].New != relational.Int(220) {
+		t.Errorf("update = %v", res.Repair.Updates[0])
+	}
+}
+
+func TestPipelineEndToEndWithOCRNoise(t *testing.T) {
+	// Generate a corpus document, corrupt it with the OCR simulator
+	// (numeric and string noise), and require the oracle-supervised
+	// pipeline to recover the exact ground truth.
+	rng := rand.New(rand.NewSource(1234))
+	years := docgen.RandomBudget(rng, 2001, 3)
+	truth := docgen.BudgetDatabase(years)
+	doc := docgen.BudgetDocument(years)
+	noisy, corr := ocr.Corrupt(doc, ocr.Options{
+		NumericErrors: 2,
+		StringRate:    0.1,
+		EligibleNumeric: func(table, row, col int, text string) bool {
+			return !(row == 0 && col == 0) // years stay clean
+		},
+	}, rng)
+	if len(corr) == 0 {
+		t.Fatal("no corruption injected")
+	}
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &dart.Pipeline{Metadata: md, Operator: &validate.OracleOperator{Truth: truth}}
+	res, err := p.Process(noisy.HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Repaired.Relation("CashBudget")
+	want := truth.Relation("CashBudget")
+	if got.Len() != want.Len() {
+		t.Fatalf("tuples = %d, want %d", got.Len(), want.Len())
+	}
+	for i, tp := range got.Tuples() {
+		if tp.String() != want.Tuples()[i].String() {
+			t.Errorf("tuple %d: %s, want %s", i, tp, want.Tuples()[i])
+		}
+	}
+}
+
+func TestPipelineCatalogScenario(t *testing.T) {
+	md, err := scenario.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	orders := docgen.RandomOrders(rng, 8)
+	doc := docgen.OrdersDocument(orders)
+	// Corrupt one amount.
+	noisy, corr := ocr.Corrupt(doc, ocr.Options{NumericErrors: 1}, rng)
+	if len(corr) != 1 {
+		t.Fatal("corruption failed")
+	}
+	p := &dart.Pipeline{Metadata: md}
+	res, err := p.Process(noisy.HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquisition.Consistent() {
+		t.Fatal("corruption not detected")
+	}
+	if res.Repair.Card() != 1 {
+		t.Errorf("repair card = %d, want 1", res.Repair.Card())
+	}
+	// The repaired database must satisfy the order-balance constraint.
+	if len(res.Acquisition.Violations) == 0 {
+		t.Error("violations should be recorded for the acquired db")
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	p := &dart.Pipeline{}
+	if _, err := p.Process("<table></table>"); err == nil || !strings.Contains(err.Error(), "no metadata") {
+		t.Errorf("missing metadata error = %v", err)
+	}
+}
+
+func TestParseMetadataFacade(t *testing.T) {
+	md, err := dart.ParseMetadata(scenario.CashBudgetSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Title != "Cash budget acquisition" {
+		t.Errorf("title = %q", md.Title)
+	}
+	if _, err := dart.ParseMetadata("bogus"); err == nil {
+		t.Error("bad metadata should fail")
+	}
+}
+
+func TestPipelineReportsStringRepairs(t *testing.T) {
+	doc := docgen.RunningExampleDocument()
+	doc.Tables[0].Rows[0][2].Text = "bgnning cesh"
+	p := cashBudgetPipeline(t)
+	acq, err := p.Acquire(doc.HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acq.StringRepairs) != 1 {
+		t.Fatalf("string repairs = %+v", acq.StringRepairs)
+	}
+	r := acq.StringRepairs[0]
+	if r.From != "bgnning cesh" || r.To != "beginning cash" {
+		t.Errorf("repair = %+v", r)
+	}
+}
+
+func TestPipelineNoRepairExists(t *testing.T) {
+	// A cardinality-style constraint with no measure involvement cannot be
+	// repaired by value updates: the pipeline must report the failure
+	// instead of fabricating a repair.
+	src := `
+relation CashBudget(Year: Z, Section: S, Subsection: S, Type: S, Value: Z)
+measure CashBudget.Value
+domain Section: 'Receipts', 'Disbursements', 'Balance'
+domain Subsection: 'beginning cash', 'cash sales', 'receivables', 'total cash receipts',
+domain Subsection: 'payment of accounts', 'capital expenditure', 'long-term financing',
+domain Subsection: 'total disbursements', 'net cash inflow', 'ending cash balance'
+pattern BudgetRow:
+  cell Year: Integer
+  cell Section: domain Section
+  cell Subsection: domain Subsection
+  cell Value: Integer
+map Year from cell Year
+map Section from cell Section
+map Subsection from cell Subsection
+map Value from cell Value
+classify Type from Subsection:
+  'beginning cash' -> 'drv'
+  'cash sales' -> 'det'
+  'receivables' -> 'det'
+  'total cash receipts' -> 'aggr'
+  'payment of accounts' -> 'det'
+  'capital expenditure' -> 'det'
+  'long-term financing' -> 'det'
+  'total disbursements' -> 'aggr'
+  'net cash inflow' -> 'drv'
+  'ending cash balance' -> 'drv'
+constraints:
+  # count of rows per year must be 11 - our documents have 10, and no
+  # measure-value update can ever change a row count.
+  func rows(y) := SELECT sum(1) FROM CashBudget WHERE Year = y
+  constraint RowCount: CashBudget(y, _, _, _, _) ==> rows(y) >= 11
+end
+`
+	md, err := dart.ParseMetadata(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &dart.Pipeline{Metadata: md}
+	_, err = p.Process(docgen.RunningExampleDocument().HTML())
+	if err == nil {
+		t.Fatal("expected a no-repair error")
+	}
+	if !strings.Contains(err.Error(), "no repair") && !strings.Contains(err.Error(), "infeasible") {
+		t.Errorf("error = %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module dart
+
+go 1.22

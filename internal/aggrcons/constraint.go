@@ -1,0 +1,411 @@
+package aggrcons
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dart/internal/relational"
+)
+
+// Rel is the relation between the aggregate combination and the constant K.
+// The paper's Definition 1 uses <=, and treats equality as sugar for a pair
+// of inequalities; we represent =, <= and >= directly.
+type Rel int
+
+// The constraint relations.
+const (
+	LE Rel = iota
+	GE
+	EQ
+)
+
+// String returns the relation symbol.
+func (r Rel) String() string {
+	return [...]string{"<=", ">=", "="}[r]
+}
+
+// ArgTerm is an argument of a body atom or of an aggregation-function call:
+// a constraint variable, a constant, or the '_' wildcard of the paper's
+// shorthand notation (wildcards are only legal in body atoms).
+type ArgTerm struct {
+	kind argKind
+	name string
+	val  relational.Value
+}
+
+type argKind int
+
+const (
+	argVar argKind = iota
+	argConst
+	argWildcard
+)
+
+// VarArg is a constraint variable with the given name.
+func VarArg(name string) ArgTerm { return ArgTerm{kind: argVar, name: name} }
+
+// ConstArg is a constant argument.
+func ConstArg(v relational.Value) ArgTerm { return ArgTerm{kind: argConst, val: v} }
+
+// Wildcard is the '_' placeholder.
+func Wildcard() ArgTerm { return ArgTerm{kind: argWildcard} }
+
+// IsVar reports whether the term is a variable, returning its name.
+func (a ArgTerm) IsVar() (string, bool) { return a.name, a.kind == argVar }
+
+// String renders the term in the paper's shorthand notation.
+func (a ArgTerm) String() string {
+	switch a.kind {
+	case argVar:
+		return a.name
+	case argWildcard:
+		return "_"
+	default:
+		if a.val.Kind() == relational.DomainString {
+			return "'" + a.val.String() + "'"
+		}
+		return a.val.String()
+	}
+}
+
+// Atom is one conjunct R(a1, ..., an) of the body phi.
+type Atom struct {
+	Relation string
+	Args     []ArgTerm
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Relation + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// AggCall is one summand c * chi(args) of a constraint's right-hand side.
+type AggCall struct {
+	Coeff float64
+	Func  *AggFunc
+	Args  []ArgTerm
+}
+
+// String renders the call (omitting a unit coefficient).
+func (c AggCall) String() string {
+	parts := make([]string, len(c.Args))
+	for i, t := range c.Args {
+		parts[i] = t.String()
+	}
+	call := fmt.Sprintf("%s(%s)", c.Func.Name, strings.Join(parts, ", "))
+	switch c.Coeff {
+	case 1:
+		return call
+	case -1:
+		return "-" + call
+	default:
+		return fmt.Sprintf("%g*%s", c.Coeff, call)
+	}
+}
+
+// Constraint is an aggregate constraint (Definition 1):
+//
+//	forall vars ( Body  =>  sum_i Calls_i  Rel  K )
+type Constraint struct {
+	Name  string
+	Body  []Atom
+	Calls []AggCall
+	Rel   Rel
+	K     float64
+}
+
+// Validate checks the constraint against the database's schemas: atom
+// arities, aggregation-function arities, wildcard placement, and that every
+// variable used in a call also occurs in the body (Definition 1 requires
+// call variables to be a subset of the quantified variables).
+func (k *Constraint) Validate(db *relational.Database) error {
+	bodyVars := map[string]bool{}
+	for _, atom := range k.Body {
+		r := db.Relation(atom.Relation)
+		if r == nil {
+			return fmt.Errorf("aggrcons: constraint %s: unknown relation %q", k.Name, atom.Relation)
+		}
+		if len(atom.Args) != r.Schema().Arity() {
+			return fmt.Errorf("aggrcons: constraint %s: atom %s has %d args, scheme has arity %d",
+				k.Name, atom, len(atom.Args), r.Schema().Arity())
+		}
+		for _, a := range atom.Args {
+			if name, ok := a.IsVar(); ok {
+				bodyVars[name] = true
+			}
+		}
+	}
+	for _, call := range k.Calls {
+		if call.Func == nil {
+			return fmt.Errorf("aggrcons: constraint %s: nil aggregation function", k.Name)
+		}
+		if len(call.Args) != call.Func.Arity() {
+			return fmt.Errorf("aggrcons: constraint %s: %s expects %d args, got %d",
+				k.Name, call.Func.Name, call.Func.Arity(), len(call.Args))
+		}
+		if db.Relation(call.Func.Relation) == nil {
+			return fmt.Errorf("aggrcons: constraint %s: %s aggregates over unknown relation %q",
+				k.Name, call.Func.Name, call.Func.Relation)
+		}
+		for _, a := range call.Args {
+			if a.kind == argWildcard {
+				return fmt.Errorf("aggrcons: constraint %s: wildcard in aggregation call %s", k.Name, call.Func.Name)
+			}
+			if name, ok := a.IsVar(); ok && !bodyVars[name] {
+				return fmt.Errorf("aggrcons: constraint %s: call variable %q does not occur in the body", k.Name, name)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the constraint in the paper's shorthand notation.
+func (k *Constraint) String() string {
+	bodyParts := make([]string, len(k.Body))
+	for i, a := range k.Body {
+		bodyParts[i] = a.String()
+	}
+	var rhs strings.Builder
+	for i, c := range k.Calls {
+		s := c.String()
+		if i > 0 && !strings.HasPrefix(s, "-") {
+			rhs.WriteString(" + ")
+		} else if i > 0 {
+			rhs.WriteString(" - ")
+			s = s[1:]
+		}
+		rhs.WriteString(s)
+	}
+	return fmt.Sprintf("%s ==> %s %s %g", strings.Join(bodyParts, ", "), rhs.String(), k.Rel, k.K)
+}
+
+// Binding is a ground substitution theta restricted to the variables that
+// matter for the constraint's calls.
+type Binding map[string]relational.Value
+
+// Ground is one ground instantiation of a constraint: the inequality
+// sum_i Coeff_i * Func_i(Args_i) Rel K with all arguments ground.
+type Ground struct {
+	Source  *Constraint
+	Binding Binding
+	// Args holds the resolved argument values for each call, parallel to
+	// Source.Calls.
+	Args [][]relational.Value
+}
+
+// Key returns a canonical identity for deduplication of ground constraints.
+func (g *Ground) Key() string {
+	var b strings.Builder
+	b.WriteString(g.Source.Name)
+	for _, args := range g.Args {
+		b.WriteByte('|')
+		for _, v := range args {
+			b.WriteString(v.String())
+			b.WriteByte(';')
+			b.WriteByte(byte('0' + int(v.Kind())))
+		}
+	}
+	return b.String()
+}
+
+// LHS evaluates the left-hand side sum of the ground constraint on db.
+func (g *Ground) LHS(db *relational.Database) (float64, error) {
+	sum := 0.0
+	for i, call := range g.Source.Calls {
+		v, err := call.Func.Eval(db, g.Args[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += call.Coeff * v
+	}
+	return sum, nil
+}
+
+// Holds checks whether the ground constraint is satisfied on db within eps.
+func (g *Ground) Holds(db *relational.Database, eps float64) (bool, error) {
+	lhs, err := g.LHS(db)
+	if err != nil {
+		return false, err
+	}
+	switch g.Source.Rel {
+	case LE:
+		return lhs <= g.Source.K+eps, nil
+	case GE:
+		return lhs >= g.Source.K-eps, nil
+	default:
+		d := lhs - g.Source.K
+		return d <= eps && d >= -eps, nil
+	}
+}
+
+// String renders the ground inequality.
+func (g *Ground) String() string {
+	parts := make([]string, 0, len(g.Source.Calls))
+	for i, call := range g.Source.Calls {
+		argStrs := make([]string, len(g.Args[i]))
+		for j, v := range g.Args[i] {
+			if v.Kind() == relational.DomainString {
+				argStrs[j] = "'" + v.String() + "'"
+			} else {
+				argStrs[j] = v.String()
+			}
+		}
+		s := fmt.Sprintf("%s(%s)", call.Func.Name, strings.Join(argStrs, ","))
+		switch {
+		case call.Coeff == 1:
+		case call.Coeff == -1:
+			s = "-" + s
+		default:
+			s = fmt.Sprintf("%g*%s", call.Coeff, s)
+		}
+		parts = append(parts, s)
+	}
+	lhs := parts[0]
+	for _, p := range parts[1:] {
+		if strings.HasPrefix(p, "-") {
+			lhs += " - " + p[1:]
+		} else {
+			lhs += " + " + p
+		}
+	}
+	return fmt.Sprintf("%s %s %g", lhs, g.Source.Rel, g.Source.K)
+}
+
+// GroundAll computes the distinct ground instantiations of the constraint on
+// db: one Ground per ground substitution theta making the body true, with
+// duplicates (substitutions agreeing on every call argument) merged.
+func (k *Constraint) GroundAll(db *relational.Database) ([]*Ground, error) {
+	if err := k.Validate(db); err != nil {
+		return nil, err
+	}
+	var out []*Ground
+	seen := map[string]bool{}
+	binding := map[string]relational.Value{}
+
+	// relevant variables: those appearing in some call.
+	relevant := map[string]bool{}
+	for _, call := range k.Calls {
+		for _, a := range call.Args {
+			if name, ok := a.IsVar(); ok {
+				relevant[name] = true
+			}
+		}
+	}
+
+	emit := func() error {
+		g := &Ground{Source: k, Binding: Binding{}, Args: make([][]relational.Value, len(k.Calls))}
+		for name := range relevant {
+			g.Binding[name] = binding[name]
+		}
+		for i, call := range k.Calls {
+			args := make([]relational.Value, len(call.Args))
+			for j, a := range call.Args {
+				if name, ok := a.IsVar(); ok {
+					args[j] = binding[name]
+				} else {
+					args[j] = a.val
+				}
+			}
+			g.Args[i] = args
+		}
+		key := g.Key()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, g)
+		}
+		return nil
+	}
+
+	var match func(atomIdx int) error
+	match = func(atomIdx int) error {
+		if atomIdx == len(k.Body) {
+			return emit()
+		}
+		atom := k.Body[atomIdx]
+		rel := db.Relation(atom.Relation)
+		for _, t := range rel.Tuples() {
+			var bound []string
+			ok := true
+			for i, a := range atom.Args {
+				switch a.kind {
+				case argWildcard:
+					continue
+				case argConst:
+					if !a.val.Equal(t.At(i)) {
+						ok = false
+					}
+				case argVar:
+					if prev, has := binding[a.name]; has {
+						if !prev.Equal(t.At(i)) {
+							ok = false
+						}
+					} else {
+						binding[a.name] = t.At(i)
+						bound = append(bound, a.name)
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				if err := match(atomIdx + 1); err != nil {
+					return err
+				}
+			}
+			for _, name := range bound {
+				delete(binding, name)
+			}
+		}
+		return nil
+	}
+	if err := match(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Violation reports one ground constraint that does not hold, with the
+// left-hand side value observed.
+type Violation struct {
+	Ground *Ground
+	LHS    float64
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s (lhs = %g)", v.Ground, v.LHS)
+}
+
+// Check evaluates every constraint on db and returns the violations
+// (D |= AC iff the result is empty). eps is the numeric tolerance.
+func Check(db *relational.Database, acs []*Constraint, eps float64) ([]Violation, error) {
+	var out []Violation
+	for _, k := range acs {
+		grounds, err := k.GroundAll(db)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range grounds {
+			lhs, err := g.LHS(db)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := g.Holds(db, eps)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				out = append(out, Violation{Ground: g, LHS: lhs})
+			}
+		}
+	}
+	// Deterministic order for reporting.
+	sort.Slice(out, func(i, j int) bool { return out[i].Ground.Key() < out[j].Ground.Key() })
+	return out, nil
+}

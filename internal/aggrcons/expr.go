@@ -1,0 +1,165 @@
+// Package aggrcons implements the aggregate-constraint formalism of
+// Sections 3-4 of the DART paper: attribute expressions, aggregation
+// functions (SELECT sum(e) FROM R WHERE alpha), aggregate constraints of the
+// form
+//
+//	forall x1..xk ( phi(x1..xk)  =>  sum_i c_i * chi_i(X_i)  <=  K )
+//
+// together with grounding, consistency checking (D |= AC), and the
+// steadiness analysis of Definition 6 (the sets A(kappa) and J(kappa)).
+package aggrcons
+
+import (
+	"fmt"
+	"strconv"
+
+	"dart/internal/relational"
+)
+
+// AttrExpr is an attribute expression on a relational scheme (Section 3.1):
+// a numerical constant, an attribute, e1+e2, e1-e2, or c*(e).
+type AttrExpr interface {
+	// Eval computes the expression's value on a tuple.
+	Eval(t *relational.Tuple) (float64, error)
+	// Attrs appends the attribute names referenced by the expression.
+	Attrs(dst []string) []string
+	// String renders the expression.
+	String() string
+}
+
+// ConstExpr is a numerical constant.
+type ConstExpr float64
+
+// Eval implements AttrExpr.
+func (c ConstExpr) Eval(*relational.Tuple) (float64, error) { return float64(c), nil }
+
+// Attrs implements AttrExpr.
+func (c ConstExpr) Attrs(dst []string) []string { return dst }
+
+// String implements AttrExpr.
+func (c ConstExpr) String() string { return strconv.FormatFloat(float64(c), 'g', -1, 64) }
+
+// AttrTerm references an attribute of the scheme by name. The attribute
+// must be numerical for evaluation to succeed.
+type AttrTerm string
+
+// Eval implements AttrExpr.
+func (a AttrTerm) Eval(t *relational.Tuple) (float64, error) {
+	i := t.Schema().AttrIndex(string(a))
+	if i < 0 {
+		return 0, fmt.Errorf("aggrcons: %s has no attribute %q", t.Schema().Name(), string(a))
+	}
+	v := t.At(i)
+	if !v.IsNumeric() {
+		return 0, fmt.Errorf("aggrcons: attribute %s.%s is not numerical", t.Schema().Name(), string(a))
+	}
+	return v.AsFloat(), nil
+}
+
+// Attrs implements AttrExpr.
+func (a AttrTerm) Attrs(dst []string) []string { return append(dst, string(a)) }
+
+// String implements AttrExpr.
+func (a AttrTerm) String() string { return string(a) }
+
+// BinOp is + or -.
+type BinOp byte
+
+// The two arithmetic operators the paper permits between subexpressions.
+const (
+	OpAdd BinOp = '+'
+	OpSub BinOp = '-'
+)
+
+// BinExpr is e1 + e2 or e1 - e2.
+type BinExpr struct {
+	Op   BinOp
+	L, R AttrExpr
+}
+
+// Eval implements AttrExpr.
+func (b BinExpr) Eval(t *relational.Tuple) (float64, error) {
+	l, err := b.L.Eval(t)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.R.Eval(t)
+	if err != nil {
+		return 0, err
+	}
+	if b.Op == OpSub {
+		return l - r, nil
+	}
+	return l + r, nil
+}
+
+// Attrs implements AttrExpr.
+func (b BinExpr) Attrs(dst []string) []string { return b.R.Attrs(b.L.Attrs(dst)) }
+
+// String implements AttrExpr.
+func (b BinExpr) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R)
+}
+
+// ScaleExpr is c * (e).
+type ScaleExpr struct {
+	C float64
+	E AttrExpr
+}
+
+// Eval implements AttrExpr.
+func (s ScaleExpr) Eval(t *relational.Tuple) (float64, error) {
+	v, err := s.E.Eval(t)
+	if err != nil {
+		return 0, err
+	}
+	return s.C * v, nil
+}
+
+// Attrs implements AttrExpr.
+func (s ScaleExpr) Attrs(dst []string) []string { return s.E.Attrs(dst) }
+
+// String implements AttrExpr.
+func (s ScaleExpr) String() string {
+	return fmt.Sprintf("%g*(%s)", s.C, s.E)
+}
+
+// LinearForm is an attribute expression reduced to sum(coeff_A * A) + Const.
+// The MILP translation of Section 5 requires this form; every AttrExpr has
+// one because the grammar only allows +, -, and scaling by constants.
+type LinearForm struct {
+	Coeffs map[string]float64
+	Const  float64
+}
+
+// Linearize reduces an attribute expression to its LinearForm.
+func Linearize(e AttrExpr) LinearForm {
+	lf := LinearForm{Coeffs: map[string]float64{}}
+	linearizeInto(e, 1, &lf)
+	for a, c := range lf.Coeffs {
+		if c == 0 {
+			delete(lf.Coeffs, a)
+		}
+	}
+	return lf
+}
+
+func linearizeInto(e AttrExpr, scale float64, lf *LinearForm) {
+	switch x := e.(type) {
+	case ConstExpr:
+		lf.Const += scale * float64(x)
+	case AttrTerm:
+		lf.Coeffs[string(x)] += scale
+	case BinExpr:
+		linearizeInto(x.L, scale, lf)
+		if x.Op == OpSub {
+			linearizeInto(x.R, -scale, lf)
+		} else {
+			linearizeInto(x.R, scale, lf)
+		}
+	case ScaleExpr:
+		linearizeInto(x.E, scale*x.C, lf)
+	default:
+		panic(fmt.Sprintf("aggrcons: unknown AttrExpr %T", e))
+	}
+}

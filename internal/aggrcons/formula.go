@@ -1,0 +1,285 @@
+package aggrcons
+
+import (
+	"fmt"
+	"strings"
+
+	"dart/internal/relational"
+)
+
+// Operand is one side of a comparison in a WHERE formula: an attribute of
+// the aggregation function's relation, a parameter of the function, or a
+// constant.
+type Operand struct {
+	kind  operandKind
+	attr  string
+	param int
+	cnst  relational.Value
+}
+
+type operandKind int
+
+const (
+	opAttr operandKind = iota
+	opParam
+	opConst
+)
+
+// OpAttr references attribute name of the function's relation.
+func OpAttr(name string) Operand { return Operand{kind: opAttr, attr: name} }
+
+// OpParam references the i-th parameter of the aggregation function.
+func OpParam(i int) Operand { return Operand{kind: opParam, param: i} }
+
+// OpConst is a constant value.
+func OpConst(v relational.Value) Operand { return Operand{kind: opConst, cnst: v} }
+
+// value resolves the operand against a tuple and the function's arguments.
+func (o Operand) value(t *relational.Tuple, args []relational.Value) (relational.Value, error) {
+	switch o.kind {
+	case opAttr:
+		i := t.Schema().AttrIndex(o.attr)
+		if i < 0 {
+			return relational.Value{}, fmt.Errorf("aggrcons: %s has no attribute %q", t.Schema().Name(), o.attr)
+		}
+		return t.At(i), nil
+	case opParam:
+		if o.param < 0 || o.param >= len(args) {
+			return relational.Value{}, fmt.Errorf("aggrcons: parameter index %d out of range (%d args)", o.param, len(args))
+		}
+		return args[o.param], nil
+	default:
+		return o.cnst, nil
+	}
+}
+
+// String renders the operand; params prints as the given parameter names.
+func (o Operand) render(params []string) string {
+	switch o.kind {
+	case opAttr:
+		return o.attr
+	case opParam:
+		if o.param < len(params) {
+			return params[o.param]
+		}
+		return fmt.Sprintf("$%d", o.param)
+	default:
+		if o.cnst.Kind() == relational.DomainString {
+			return "'" + o.cnst.String() + "'"
+		}
+		return o.cnst.String()
+	}
+}
+
+// CmpOp is a comparison operator of a WHERE formula.
+type CmpOp int
+
+// The comparison operators allowed in WHERE formulas.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String returns the operator symbol.
+func (c CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[c]
+}
+
+// BoolExpr is a boolean formula over attributes of the function's relation,
+// the function's parameters, and constants — the alpha of an aggregation
+// function.
+type BoolExpr interface {
+	// Eval decides the formula on a tuple with the function arguments bound.
+	Eval(t *relational.Tuple, args []relational.Value) (bool, error)
+	// WhereAttrs appends the attributes appearing in the formula.
+	WhereAttrs(dst []string) []string
+	// WhereParams appends the parameter indices appearing in the formula.
+	WhereParams(dst []int) []int
+	// Render pretty-prints the formula with parameter names substituted.
+	Render(params []string) string
+}
+
+// Cmp is an atomic comparison L op R.
+type Cmp struct {
+	L  Operand
+	Op CmpOp
+	R  Operand
+}
+
+// Eval implements BoolExpr. Numeric values compare numerically across Z and
+// R; strings compare lexicographically; comparing a string with a number is
+// false for every operator except <>, which is true.
+func (c Cmp) Eval(t *relational.Tuple, args []relational.Value) (bool, error) {
+	l, err := c.L.value(t, args)
+	if err != nil {
+		return false, err
+	}
+	r, err := c.R.value(t, args)
+	if err != nil {
+		return false, err
+	}
+	if l.IsNumeric() != r.IsNumeric() {
+		return c.Op == CmpNE, nil
+	}
+	var cmp int
+	if l.IsNumeric() {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(l.AsString(), r.AsString())
+	}
+	switch c.Op {
+	case CmpEQ:
+		return cmp == 0, nil
+	case CmpNE:
+		return cmp != 0, nil
+	case CmpLT:
+		return cmp < 0, nil
+	case CmpLE:
+		return cmp <= 0, nil
+	case CmpGT:
+		return cmp > 0, nil
+	case CmpGE:
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("aggrcons: unknown comparison operator %d", c.Op)
+	}
+}
+
+// WhereAttrs implements BoolExpr.
+func (c Cmp) WhereAttrs(dst []string) []string {
+	if c.L.kind == opAttr {
+		dst = append(dst, c.L.attr)
+	}
+	if c.R.kind == opAttr {
+		dst = append(dst, c.R.attr)
+	}
+	return dst
+}
+
+// WhereParams implements BoolExpr.
+func (c Cmp) WhereParams(dst []int) []int {
+	if c.L.kind == opParam {
+		dst = append(dst, c.L.param)
+	}
+	if c.R.kind == opParam {
+		dst = append(dst, c.R.param)
+	}
+	return dst
+}
+
+// Render implements BoolExpr.
+func (c Cmp) Render(params []string) string {
+	return fmt.Sprintf("%s %s %s", c.L.render(params), c.Op, c.R.render(params))
+}
+
+// And is a conjunction of subformulas.
+type And []BoolExpr
+
+// Eval implements BoolExpr.
+func (a And) Eval(t *relational.Tuple, args []relational.Value) (bool, error) {
+	for _, f := range a {
+		ok, err := f.Eval(t, args)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// WhereAttrs implements BoolExpr.
+func (a And) WhereAttrs(dst []string) []string {
+	for _, f := range a {
+		dst = f.WhereAttrs(dst)
+	}
+	return dst
+}
+
+// WhereParams implements BoolExpr.
+func (a And) WhereParams(dst []int) []int {
+	for _, f := range a {
+		dst = f.WhereParams(dst)
+	}
+	return dst
+}
+
+// Render implements BoolExpr.
+func (a And) Render(params []string) string {
+	if len(a) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(a))
+	for i, f := range a {
+		parts[i] = f.Render(params)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Or is a disjunction of subformulas.
+type Or []BoolExpr
+
+// Eval implements BoolExpr.
+func (o Or) Eval(t *relational.Tuple, args []relational.Value) (bool, error) {
+	for _, f := range o {
+		ok, err := f.Eval(t, args)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// WhereAttrs implements BoolExpr.
+func (o Or) WhereAttrs(dst []string) []string {
+	for _, f := range o {
+		dst = f.WhereAttrs(dst)
+	}
+	return dst
+}
+
+// WhereParams implements BoolExpr.
+func (o Or) WhereParams(dst []int) []int {
+	for _, f := range o {
+		dst = f.WhereParams(dst)
+	}
+	return dst
+}
+
+// Render implements BoolExpr.
+func (o Or) Render(params []string) string {
+	parts := make([]string, len(o))
+	for i, f := range o {
+		parts[i] = "(" + f.Render(params) + ")"
+	}
+	return strings.Join(parts, " OR ")
+}
+
+// Not negates a subformula.
+type Not struct{ F BoolExpr }
+
+// Eval implements BoolExpr.
+func (n Not) Eval(t *relational.Tuple, args []relational.Value) (bool, error) {
+	ok, err := n.F.Eval(t, args)
+	return !ok, err
+}
+
+// WhereAttrs implements BoolExpr.
+func (n Not) WhereAttrs(dst []string) []string { return n.F.WhereAttrs(dst) }
+
+// WhereParams implements BoolExpr.
+func (n Not) WhereParams(dst []int) []int { return n.F.WhereParams(dst) }
+
+// Render implements BoolExpr.
+func (n Not) Render(params []string) string { return "NOT (" + n.F.Render(params) + ")" }

@@ -1,0 +1,142 @@
+package aggrcons
+
+import (
+	"sort"
+
+	"dart/internal/relational"
+)
+
+// position identifies one argument slot of one body atom.
+type position struct {
+	atom int
+	arg  int
+}
+
+// correspondences maps each constraint variable to the attributes it
+// corresponds to via the body atoms (Section 4: attribute A_j corresponds
+// to variable x_j of atom R(x_1..x_n)).
+func (k *Constraint) correspondences(db *relational.Database) map[string][]relational.AttrRef {
+	out := map[string][]relational.AttrRef{}
+	for _, atom := range k.Body {
+		rel := db.Relation(atom.Relation)
+		if rel == nil {
+			continue
+		}
+		s := rel.Schema()
+		for i, a := range atom.Args {
+			if name, ok := a.IsVar(); ok && i < s.Arity() {
+				out[name] = append(out[name], relational.AttrRef{
+					Relation:  atom.Relation,
+					Attribute: s.Attribute(i).Name,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ASet computes A(kappa): the union over the constraint's aggregation calls
+// of W(chi) — the attributes appearing in each call's WHERE clause plus the
+// attributes corresponding to the constraint variables bound to parameters
+// that appear in the WHERE clause.
+func (k *Constraint) ASet(db *relational.Database) []relational.AttrRef {
+	corr := k.correspondences(db)
+	set := map[relational.AttrRef]bool{}
+	for _, call := range k.Calls {
+		for _, a := range call.Func.WhereAttrNames() {
+			set[relational.AttrRef{Relation: call.Func.Relation, Attribute: a}] = true
+		}
+		for _, pi := range call.Func.WhereParamIndexes() {
+			if pi < 0 || pi >= len(call.Args) {
+				continue
+			}
+			if name, ok := call.Args[pi].IsVar(); ok {
+				for _, ref := range corr[name] {
+					set[ref] = true
+				}
+			}
+		}
+	}
+	return sortedRefs(set)
+}
+
+// JSet computes J(kappa): the attributes corresponding to variables shared
+// by two distinct argument positions of the body (join variables).
+func (k *Constraint) JSet(db *relational.Database) []relational.AttrRef {
+	positionsByVar := map[string][]position{}
+	for ai, atom := range k.Body {
+		for pi, a := range atom.Args {
+			if name, ok := a.IsVar(); ok {
+				positionsByVar[name] = append(positionsByVar[name], position{ai, pi})
+			}
+		}
+	}
+	set := map[relational.AttrRef]bool{}
+	for _, ps := range positionsByVar {
+		if len(ps) < 2 {
+			continue
+		}
+		for _, p := range ps {
+			atom := k.Body[p.atom]
+			rel := db.Relation(atom.Relation)
+			if rel == nil || p.arg >= rel.Schema().Arity() {
+				continue
+			}
+			set[relational.AttrRef{
+				Relation:  atom.Relation,
+				Attribute: rel.Schema().Attribute(p.arg).Name,
+			}] = true
+		}
+	}
+	return sortedRefs(set)
+}
+
+// IsSteady decides Definition 6: kappa is steady iff
+// (A(kappa) ∪ J(kappa)) ∩ M_D = ∅ for the measure set of db. When the
+// constraint is steady, the tuples involved in it can be identified without
+// reading measure values, which is what licenses the MILP translation of
+// Section 5.
+func (k *Constraint) IsSteady(db *relational.Database) bool {
+	for _, ref := range k.ASet(db) {
+		if db.IsMeasure(ref.Relation, ref.Attribute) {
+			return false
+		}
+	}
+	for _, ref := range k.JSet(db) {
+		if db.IsMeasure(ref.Relation, ref.Attribute) {
+			return false
+		}
+	}
+	return true
+}
+
+// SteadyViolations explains why a constraint is not steady: the offending
+// measure attributes in A(kappa) and J(kappa). Empty for steady constraints.
+func (k *Constraint) SteadyViolations(db *relational.Database) []relational.AttrRef {
+	set := map[relational.AttrRef]bool{}
+	for _, ref := range k.ASet(db) {
+		if db.IsMeasure(ref.Relation, ref.Attribute) {
+			set[ref] = true
+		}
+	}
+	for _, ref := range k.JSet(db) {
+		if db.IsMeasure(ref.Relation, ref.Attribute) {
+			set[ref] = true
+		}
+	}
+	return sortedRefs(set)
+}
+
+func sortedRefs(set map[relational.AttrRef]bool) []relational.AttrRef {
+	out := make([]relational.AttrRef, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relation != out[j].Relation {
+			return out[i].Relation < out[j].Relation
+		}
+		return out[i].Attribute < out[j].Attribute
+	})
+	return out
+}

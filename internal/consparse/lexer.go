@@ -1,0 +1,167 @@
+// Package consparse parses the textual constraint language used in DART
+// metadata files. The language mirrors the paper's notation:
+//
+//	# aggregation functions (Example 2)
+//	func chi1(x, y, z) := SELECT sum(Value) FROM CashBudget
+//	                      WHERE Section = x AND Year = y AND Type = z
+//
+//	# aggregate constraints in the shorthand of Example 3 (universal
+//	# quantification implied, '_' for don't-care variables)
+//	constraint Constraint1:
+//	    CashBudget(y, x, _, _, _) ==> chi1(x, y, 'det') - chi1(x, y, 'aggr') = 0
+//
+// Comments run from '#' to end of line. Declarations may span lines; a
+// declaration ends where the next 'func'/'constraint' keyword or EOF
+// begins.
+package consparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // quoted literal
+	tokSymbol // punctuation / operators
+)
+
+// token is one lexical unit with its position for error reporting.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes the whole source. Multi-character operators recognized:
+// ':=', '==>', '<=', '>=', '<>'.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '\'':
+			start := i
+			startLine, startCol := line, col
+			advance(1)
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					// Doubled quote escapes a literal quote.
+					if i+1 < n && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						advance(2)
+						continue
+					}
+					advance(1)
+					closed = true
+					break
+				}
+				if src[i] == '\n' {
+					return nil, fmt.Errorf("consparse: line %d: unterminated string starting at column %d", startLine, startCol)
+				}
+				sb.WriteByte(src[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, fmt.Errorf("consparse: line %d: unterminated string %q", startLine, src[start:])
+			}
+			toks = append(toks, token{tokString, sb.String(), startLine, startCol})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			startLine, startCol := line, col
+			var sb strings.Builder
+			dot := false
+			for i < n {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					sb.WriteByte(d)
+					advance(1)
+				} else if d == '.' && !dot {
+					dot = true
+					sb.WriteByte(d)
+					advance(1)
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{tokNumber, sb.String(), startLine, startCol})
+		case isIdentStart(rune(c)):
+			startLine, startCol := line, col
+			var sb strings.Builder
+			for i < n && isIdentPart(rune(src[i])) {
+				sb.WriteByte(src[i])
+				advance(1)
+			}
+			toks = append(toks, token{tokIdent, sb.String(), startLine, startCol})
+		default:
+			startLine, startCol := line, col
+			// Multi-character symbols first.
+			rest := src[i:]
+			sym := ""
+			for _, s := range []string{"==>", ":=", "<=", ">=", "<>", "!="} {
+				if strings.HasPrefix(rest, s) {
+					sym = s
+					break
+				}
+			}
+			if sym == "" {
+				if strings.ContainsRune("(),_=<>+-*.:", rune(c)) {
+					sym = string(c)
+				} else {
+					return nil, fmt.Errorf("consparse: line %d col %d: unexpected character %q", line, col, c)
+				}
+			}
+			advance(len(sym))
+			toks = append(toks, token{tokSymbol, sym, startLine, startCol})
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '$'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}

@@ -1,0 +1,635 @@
+package consparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dart/internal/aggrcons"
+	"dart/internal/relational"
+)
+
+// Catalog is the result of parsing a constraint source: the declared
+// aggregation functions (by name) and the aggregate constraints, in
+// declaration order.
+type Catalog struct {
+	Funcs       map[string]*aggrcons.AggFunc
+	FuncOrder   []string
+	Constraints []*aggrcons.Constraint
+}
+
+// Parse parses a constraint source text.
+func Parse(src string) (*Catalog, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, cat: &Catalog{Funcs: map[string]*aggrcons.AggFunc{}}}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.cat, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	cat  *Catalog
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return fmt.Errorf("consparse: line %d col %d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// expectSymbol consumes the given symbol or fails.
+func (p *parser) expectSymbol(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return p.errorf(t, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+// expectIdent consumes an identifier (optionally a specific keyword,
+// case-insensitive when keyword is non-empty) or fails.
+func (p *parser) expectIdent(keyword string) (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errorf(t, "expected identifier, found %s", t)
+	}
+	if keyword != "" && !strings.EqualFold(t.text, keyword) {
+		return t, p.errorf(t, "expected keyword %q, found %s", keyword, t)
+	}
+	return t, nil
+}
+
+func (p *parser) isSymbol(s string) bool {
+	t := p.peek()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parse() error {
+	for !p.atEOF() {
+		t := p.next()
+		if t.kind != tokIdent {
+			return p.errorf(t, "expected 'func' or 'constraint' declaration, found %s", t)
+		}
+		switch strings.ToLower(t.text) {
+		case "func":
+			if err := p.parseFunc(); err != nil {
+				return err
+			}
+		case "constraint":
+			if err := p.parseConstraint(); err != nil {
+				return err
+			}
+		default:
+			return p.errorf(t, "expected 'func' or 'constraint', found %s", t)
+		}
+	}
+	return nil
+}
+
+// parseFunc parses
+//
+//	func NAME(p1, ..., pk) := SELECT sum(EXPR) FROM REL WHERE FORMULA
+func (p *parser) parseFunc() error {
+	name, err := p.expectIdent("")
+	if err != nil {
+		return err
+	}
+	if _, dup := p.cat.Funcs[name.text]; dup {
+		return p.errorf(name, "duplicate aggregation function %q", name.text)
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	var params []string
+	if !p.isSymbol(")") {
+		for {
+			t, err := p.expectIdent("")
+			if err != nil {
+				return err
+			}
+			params = append(params, t.text)
+			if p.isSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol(":="); err != nil {
+		return err
+	}
+	if _, err := p.expectIdent("SELECT"); err != nil {
+		return err
+	}
+	if _, err := p.expectIdent("sum"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	expr, err := p.parseAttrExpr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return err
+	}
+	if _, err := p.expectIdent("FROM"); err != nil {
+		return err
+	}
+	rel, err := p.expectIdent("")
+	if err != nil {
+		return err
+	}
+	paramIdx := map[string]int{}
+	for i, pn := range params {
+		if _, dup := paramIdx[pn]; dup {
+			return p.errorf(name, "duplicate parameter %q", pn)
+		}
+		paramIdx[pn] = i
+	}
+	var where aggrcons.BoolExpr = aggrcons.And{}
+	if p.isKeyword("WHERE") {
+		p.next()
+		where, err = p.parseOrFormula(paramIdx)
+		if err != nil {
+			return err
+		}
+	}
+	p.cat.Funcs[name.text] = &aggrcons.AggFunc{
+		Name:     name.text,
+		Relation: rel.text,
+		Params:   params,
+		Expr:     expr,
+		Where:    where,
+	}
+	p.cat.FuncOrder = append(p.cat.FuncOrder, name.text)
+	return nil
+}
+
+// parseAttrExpr parses the summed expression: sums/differences of terms,
+// where a term is a number, an attribute, c*(expr), c*Attr, or (expr).
+func (p *parser) parseAttrExpr() (aggrcons.AttrExpr, error) {
+	left, err := p.parseAttrTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSymbol("+") || p.isSymbol("-") {
+		op := aggrcons.OpAdd
+		if p.next().text == "-" {
+			op = aggrcons.OpSub
+		}
+		right, err := p.parseAttrTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = aggrcons.BinExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAttrTerm() (aggrcons.AttrExpr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf(t, "bad number %q", t.text)
+		}
+		if p.isSymbol("*") {
+			p.next()
+			inner, err := p.parseAttrFactor()
+			if err != nil {
+				return nil, err
+			}
+			return aggrcons.ScaleExpr{C: v, E: inner}, nil
+		}
+		return aggrcons.ConstExpr(v), nil
+	case t.kind == tokIdent:
+		return aggrcons.AttrTerm(t.text), nil
+	case t.kind == tokSymbol && t.text == "(":
+		e, err := p.parseAttrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokSymbol && t.text == "-":
+		inner, err := p.parseAttrFactor()
+		if err != nil {
+			return nil, err
+		}
+		return aggrcons.ScaleExpr{C: -1, E: inner}, nil
+	default:
+		return nil, p.errorf(t, "expected expression term, found %s", t)
+	}
+}
+
+func (p *parser) parseAttrFactor() (aggrcons.AttrExpr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokIdent:
+		return aggrcons.AttrTerm(t.text), nil
+	case t.kind == tokSymbol && t.text == "(":
+		e, err := p.parseAttrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf(t, "bad number %q", t.text)
+		}
+		return aggrcons.ConstExpr(v), nil
+	default:
+		return nil, p.errorf(t, "expected attribute or parenthesized expression, found %s", t)
+	}
+}
+
+// parseOrFormula parses OR-separated conjunctions.
+func (p *parser) parseOrFormula(params map[string]int) (aggrcons.BoolExpr, error) {
+	left, err := p.parseAndFormula(params)
+	if err != nil {
+		return nil, err
+	}
+	if !p.isKeyword("OR") {
+		return left, nil
+	}
+	or := aggrcons.Or{left}
+	for p.isKeyword("OR") {
+		p.next()
+		right, err := p.parseAndFormula(params)
+		if err != nil {
+			return nil, err
+		}
+		or = append(or, right)
+	}
+	return or, nil
+}
+
+func (p *parser) parseAndFormula(params map[string]int) (aggrcons.BoolExpr, error) {
+	left, err := p.parseFormulaPrimary(params)
+	if err != nil {
+		return nil, err
+	}
+	if !p.isKeyword("AND") {
+		return left, nil
+	}
+	and := aggrcons.And{left}
+	for p.isKeyword("AND") {
+		p.next()
+		right, err := p.parseFormulaPrimary(params)
+		if err != nil {
+			return nil, err
+		}
+		and = append(and, right)
+	}
+	return and, nil
+}
+
+func (p *parser) parseFormulaPrimary(params map[string]int) (aggrcons.BoolExpr, error) {
+	if p.isKeyword("NOT") {
+		p.next()
+		f, err := p.parseFormulaPrimary(params)
+		if err != nil {
+			return nil, err
+		}
+		return aggrcons.Not{F: f}, nil
+	}
+	if p.isKeyword("TRUE") {
+		p.next()
+		return aggrcons.And{}, nil
+	}
+	if p.isSymbol("(") {
+		p.next()
+		f, err := p.parseOrFormula(params)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	l, err := p.parseOperand(params)
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	var op aggrcons.CmpOp
+	switch opTok.text {
+	case "=":
+		op = aggrcons.CmpEQ
+	case "<>", "!=":
+		op = aggrcons.CmpNE
+	case "<":
+		op = aggrcons.CmpLT
+	case "<=":
+		op = aggrcons.CmpLE
+	case ">":
+		op = aggrcons.CmpGT
+	case ">=":
+		op = aggrcons.CmpGE
+	default:
+		return nil, p.errorf(opTok, "expected comparison operator, found %s", opTok)
+	}
+	r, err := p.parseOperand(params)
+	if err != nil {
+		return nil, err
+	}
+	return aggrcons.Cmp{L: l, Op: op, R: r}, nil
+}
+
+// parseOperand parses one side of a comparison. Identifiers matching a
+// parameter name resolve to that parameter; all other identifiers are
+// attribute references.
+func (p *parser) parseOperand(params map[string]int) (aggrcons.Operand, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if i, ok := params[t.text]; ok {
+			return aggrcons.OpParam(i), nil
+		}
+		return aggrcons.OpAttr(t.text), nil
+	case tokString:
+		return aggrcons.OpConst(relational.String(t.text)), nil
+	case tokNumber:
+		v, err := numericConst(t)
+		if err != nil {
+			return aggrcons.Operand{}, err
+		}
+		return aggrcons.OpConst(v), nil
+	case tokSymbol:
+		if t.text == "-" {
+			num := p.next()
+			if num.kind != tokNumber {
+				return aggrcons.Operand{}, p.errorf(num, "expected number after '-', found %s", num)
+			}
+			v, err := numericConst(num)
+			if err != nil {
+				return aggrcons.Operand{}, err
+			}
+			return aggrcons.OpConst(negateValue(v)), nil
+		}
+	}
+	return aggrcons.Operand{}, p.errorf(t, "expected operand, found %s", t)
+}
+
+// numericConst parses a number token into a typed Value: Real when it
+// contains a decimal point, Int otherwise.
+func numericConst(t token) (relational.Value, error) {
+	if strings.Contains(t.text, ".") {
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return relational.Value{}, fmt.Errorf("consparse: line %d: bad number %q", t.line, t.text)
+		}
+		return relational.Real(f), nil
+	}
+	i, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return relational.Value{}, fmt.Errorf("consparse: line %d: bad number %q", t.line, t.text)
+	}
+	return relational.Int(i), nil
+}
+
+func negateValue(v relational.Value) relational.Value {
+	if v.Kind() == relational.DomainReal {
+		return relational.Real(-v.AsFloat())
+	}
+	return relational.Int(-v.AsInt())
+}
+
+// parseConstraint parses
+//
+//	constraint NAME: ATOM (, ATOM)* ==> CALLSUM (=|<=|>=) NUMBER
+func (p *parser) parseConstraint() error {
+	name, err := p.expectIdent("")
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return err
+	}
+	var body []aggrcons.Atom
+	for {
+		atom, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		body = append(body, atom)
+		if p.isSymbol(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol("==>"); err != nil {
+		return err
+	}
+	calls, err := p.parseCallSum(1)
+	if err != nil {
+		return err
+	}
+	relTok := p.next()
+	var rel aggrcons.Rel
+	switch relTok.text {
+	case "=":
+		rel = aggrcons.EQ
+	case "<=":
+		rel = aggrcons.LE
+	case ">=":
+		rel = aggrcons.GE
+	default:
+		return p.errorf(relTok, "expected '=', '<=' or '>=', found %s", relTok)
+	}
+	neg := false
+	if p.isSymbol("-") {
+		p.next()
+		neg = true
+	}
+	kTok := p.next()
+	if kTok.kind != tokNumber {
+		return p.errorf(kTok, "expected constant K, found %s", kTok)
+	}
+	k, err := strconv.ParseFloat(kTok.text, 64)
+	if err != nil {
+		return p.errorf(kTok, "bad number %q", kTok.text)
+	}
+	if neg {
+		k = -k
+	}
+	p.cat.Constraints = append(p.cat.Constraints, &aggrcons.Constraint{
+		Name:  name.text,
+		Body:  body,
+		Calls: calls,
+		Rel:   rel,
+		K:     k,
+	})
+	return nil
+}
+
+func (p *parser) parseAtom() (aggrcons.Atom, error) {
+	rel, err := p.expectIdent("")
+	if err != nil {
+		return aggrcons.Atom{}, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return aggrcons.Atom{}, err
+	}
+	var args []aggrcons.ArgTerm
+	if !p.isSymbol(")") {
+		for {
+			arg, err := p.parseArgTerm(true)
+			if err != nil {
+				return aggrcons.Atom{}, err
+			}
+			args = append(args, arg)
+			if p.isSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return aggrcons.Atom{}, err
+	}
+	return aggrcons.Atom{Relation: rel.text, Args: args}, nil
+}
+
+func (p *parser) parseArgTerm(allowWildcard bool) (aggrcons.ArgTerm, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokSymbol && t.text == "_":
+		if !allowWildcard {
+			return aggrcons.ArgTerm{}, p.errorf(t, "wildcard not allowed here")
+		}
+		return aggrcons.Wildcard(), nil
+	case t.kind == tokIdent:
+		return aggrcons.VarArg(t.text), nil
+	case t.kind == tokString:
+		return aggrcons.ConstArg(relational.String(t.text)), nil
+	case t.kind == tokNumber:
+		v, err := numericConst(t)
+		if err != nil {
+			return aggrcons.ArgTerm{}, err
+		}
+		return aggrcons.ConstArg(v), nil
+	case t.kind == tokSymbol && t.text == "-":
+		num := p.next()
+		if num.kind != tokNumber {
+			return aggrcons.ArgTerm{}, p.errorf(num, "expected number after '-', found %s", num)
+		}
+		v, err := numericConst(num)
+		if err != nil {
+			return aggrcons.ArgTerm{}, err
+		}
+		return aggrcons.ConstArg(negateValue(v)), nil
+	default:
+		return aggrcons.ArgTerm{}, p.errorf(t, "expected argument, found %s", t)
+	}
+}
+
+// parseCallSum parses a signed sum of aggregation calls with optional
+// coefficients and parenthesized groups, distributing signs:
+//
+//	chi2(x,'a') - (chi2(x,'b') - chi2(x,'c')) + 2*chi1(x,y,'d')
+func (p *parser) parseCallSum(sign float64) ([]aggrcons.AggCall, error) {
+	var calls []aggrcons.AggCall
+	cur := sign
+	first := true
+	for {
+		if !first {
+			switch {
+			case p.isSymbol("+"):
+				p.next()
+				cur = sign
+			case p.isSymbol("-"):
+				p.next()
+				cur = -sign
+			default:
+				return calls, nil
+			}
+		} else if p.isSymbol("-") {
+			p.next()
+			cur = -sign
+		}
+		first = false
+		if p.isSymbol("(") {
+			p.next()
+			inner, err := p.parseCallSum(cur)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			calls = append(calls, inner...)
+			continue
+		}
+		coeff := cur
+		t := p.next()
+		if t.kind == tokNumber {
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf(t, "bad number %q", t.text)
+			}
+			coeff = cur * v
+			if err := p.expectSymbol("*"); err != nil {
+				return nil, err
+			}
+			t = p.next()
+		}
+		if t.kind != tokIdent {
+			return nil, p.errorf(t, "expected aggregation function name, found %s", t)
+		}
+		fn, ok := p.cat.Funcs[t.text]
+		if !ok {
+			return nil, p.errorf(t, "unknown aggregation function %q", t.text)
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var args []aggrcons.ArgTerm
+		if !p.isSymbol(")") {
+			for {
+				arg, err := p.parseArgTerm(false)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, arg)
+				if p.isSymbol(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		calls = append(calls, aggrcons.AggCall{Coeff: coeff, Func: fn, Args: args})
+	}
+}

@@ -1,0 +1,128 @@
+// Package convert is the acquisition module's format-conversion stage
+// (Section 6.1): input documents that are not already HTML are normalized
+// into HTML before extraction. The paper's implementation shells out to
+// PDF/MSWord/RTF converters and an OCR tool; this package handles the two
+// formats the simulated pipeline produces — HTML itself and the plain
+// "scan text" layer that stands in for OCR output of paper documents.
+package convert
+
+import (
+	"fmt"
+	"strings"
+
+	"dart/internal/htmlx"
+)
+
+// Format identifies an input document format.
+type Format int
+
+const (
+	// FormatHTML is an HTML document, passed through unchanged.
+	FormatHTML Format = iota
+	// FormatScanText is the pipe-separated text layer produced by the OCR
+	// simulation for paper documents.
+	FormatScanText
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatHTML:
+		return "html"
+	case FormatScanText:
+		return "scantext"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// Detect guesses the format of a source document: anything starting with an
+// HTML construct is HTML, otherwise scan text.
+func Detect(src string) Format {
+	s := strings.TrimSpace(src)
+	low := strings.ToLower(s)
+	if strings.HasPrefix(low, "<!doctype") || strings.HasPrefix(low, "<html") || strings.HasPrefix(low, "<table") {
+		return FormatHTML
+	}
+	return FormatScanText
+}
+
+// ToHTML converts a source document of the given format into HTML.
+func ToHTML(src string, f Format) (string, error) {
+	switch f {
+	case FormatHTML:
+		return src, nil
+	case FormatScanText:
+		return ScanTextToHTML(src), nil
+	default:
+		return "", fmt.Errorf("convert: unsupported format %v", f)
+	}
+}
+
+// ScanTextToHTML rebuilds an HTML document from a scan-text layer: lines of
+// pipe-separated cells become table rows; "== title ==" lines become the
+// document title; "-- caption --" lines become table captions; blank lines
+// separate tables. Spans are not reconstructed — the scanner saw repeated
+// values, and the wrapper's matching works on the repeated form just as it
+// does on the rowspan form.
+func ScanTextToHTML(text string) string {
+	var b strings.Builder
+	title := "Converted document"
+	type table struct {
+		caption string
+		rows    [][]string
+	}
+	var tables []*table
+	var cur *table
+	flush := func() {
+		if cur != nil && len(cur.rows) > 0 {
+			tables = append(tables, cur)
+		}
+		cur = nil
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+			flush()
+		case strings.HasPrefix(line, "== ") && strings.HasSuffix(line, " =="):
+			title = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "== "), " =="))
+			flush()
+		case strings.HasPrefix(line, "-- ") && strings.HasSuffix(line, " --"):
+			flush()
+			cur = &table{caption: strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "-- "), " --"))}
+		default:
+			if cur == nil {
+				cur = &table{}
+			}
+			cells := strings.Split(line, "|")
+			for i := range cells {
+				cells[i] = strings.TrimSpace(cells[i])
+			}
+			cur.rows = append(cur.rows, cells)
+		}
+	}
+	flush()
+
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+	b.WriteString(htmlx.EscapeText(title))
+	b.WriteString("</title></head>\n<body>\n")
+	for _, t := range tables {
+		if t.caption != "" {
+			fmt.Fprintf(&b, "<h2>%s</h2>\n", htmlx.EscapeText(t.caption))
+		}
+		b.WriteString("<table>\n")
+		for _, row := range t.rows {
+			b.WriteString("  <tr>")
+			for _, c := range row {
+				b.WriteString("<td>")
+				b.WriteString(htmlx.EscapeText(c))
+				b.WriteString("</td>")
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package core_test
+
+import (
+	"testing"
+
+	"dart/internal/core"
+	"dart/internal/relational"
+	"dart/internal/runningex"
+)
+
+func TestEnumerateMinimalRepairsRunningExample(t *testing.T) {
+	// Example 11: the running example has a unique card-minimal repair.
+	db := runningex.AcquiredDatabase()
+	reps, err := core.EnumerateMinimalRepairs(db, runningex.Constraints(), core.EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("repairs = %d, want 1 (unique optimum):\n%v", len(reps), reps)
+	}
+	if reps[0].Card() != 1 || reps[0].Updates[0].New != relational.Int(220) {
+		t.Errorf("repair = %v", reps[0])
+	}
+}
+
+func TestEnumerateMinimalRepairsAmbiguousDetail(t *testing.T) {
+	// Corrupting a detail value creates exactly two card-1 repairs: restore
+	// the detail, or compensate via the sibling detail.
+	db := runningex.CorrectDatabase()
+	corrupt(t, db, map[[2]string]int64{{"2003", "cash sales"}: 170})
+	reps, err := core.EnumerateMinimalRepairs(db, runningex.Constraints(), core.EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("repairs = %d, want 2:\n%v", len(reps), reps)
+	}
+	subs := map[string]bool{}
+	for _, r := range reps {
+		if r.Card() != 1 {
+			t.Errorf("non-minimal enumerated repair: %v", r)
+		}
+		tp := db.Relation("CashBudget").TupleByID(r.Updates[0].Item.TupleID)
+		subs[tp.Get("Subsection").AsString()] = true
+		// Every enumerated repair must verify.
+		if _, err := core.VerifyRepairs(db, runningex.Constraints(), r, 1e-9); err != nil {
+			t.Errorf("enumerated repair fails verification: %v", err)
+		}
+	}
+	if !subs["cash sales"] || !subs["receivables"] {
+		t.Errorf("repair supports = %v, want cash sales and receivables", subs)
+	}
+}
+
+func TestEnumerateAcrossComponents(t *testing.T) {
+	// One ambiguous error per year: the cartesian combination yields 2x2
+	// card-2 repairs.
+	db := runningex.CorrectDatabase()
+	corrupt(t, db, map[[2]string]int64{
+		{"2003", "cash sales"}:  170,
+		{"2004", "receivables"}: 130,
+	})
+	reps, err := core.EnumerateMinimalRepairs(db, runningex.Constraints(), core.EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 4 {
+		t.Fatalf("repairs = %d, want 4:\n%v", len(reps), reps)
+	}
+	for _, r := range reps {
+		if r.Card() != 2 {
+			t.Errorf("card = %d, want 2: %v", r.Card(), r)
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	db := runningex.CorrectDatabase()
+	corrupt(t, db, map[[2]string]int64{
+		{"2003", "cash sales"}:  170,
+		{"2004", "receivables"}: 130,
+	})
+	reps, err := core.EnumerateMinimalRepairs(db, runningex.Constraints(), core.EnumerateOptions{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Errorf("repairs = %d, want limit 3", len(reps))
+	}
+}
+
+func TestEnumerateConsistentDatabase(t *testing.T) {
+	db := runningex.CorrectDatabase()
+	reps, err := core.EnumerateMinimalRepairs(db, runningex.Constraints(), core.EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0].Card() != 0 {
+		t.Errorf("consistent database should yield one empty repair, got %v", reps)
+	}
+}
+
+func TestReliableValuesUniqueRepair(t *testing.T) {
+	// The running example's repair is unique, so every value is reliable —
+	// including the repaired one (reliable at 220, not at its acquired 250).
+	db := runningex.AcquiredDatabase()
+	rel, err := core.ReliableValues(db, runningex.Constraints(), core.EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 20 {
+		t.Fatalf("items = %d", len(rel))
+	}
+	tcr := findItem(t, db, 2003, "total cash receipts")
+	for _, r := range rel {
+		if !r.Reliable {
+			t.Errorf("%s not reliable: values %v", r.Item, r.Values)
+		}
+		if r.Item == tcr {
+			if r.Current != 250 || len(r.Values) != 1 || r.Values[0] != 220 {
+				t.Errorf("tcr reliability = %+v", r)
+			}
+		}
+	}
+}
+
+func TestReliableValuesAmbiguousRepair(t *testing.T) {
+	db := runningex.CorrectDatabase()
+	corrupt(t, db, map[[2]string]int64{{"2003", "cash sales"}: 170})
+	rel, err := core.ReliableValues(db, runningex.Constraints(), core.EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := findItem(t, db, 2003, "cash sales")
+	rc := findItem(t, db, 2003, "receivables")
+	tcr := findItem(t, db, 2003, "total cash receipts")
+	for _, r := range rel {
+		switch r.Item {
+		case cs, rc:
+			if r.Reliable || len(r.Values) != 2 {
+				t.Errorf("%s should be ambiguous, got %+v", r.Item, r)
+			}
+		case tcr:
+			if !r.Reliable || r.Values[0] != 220 {
+				t.Errorf("tcr should be reliable at 220, got %+v", r)
+			}
+		default:
+			if !r.Reliable {
+				t.Errorf("%s should be reliable, got %+v", r.Item, r)
+			}
+		}
+	}
+}
+
+func TestIsSetMinimal(t *testing.T) {
+	db := runningex.AcquiredDatabase()
+	acs := runningex.Constraints()
+	tcr := findItem(t, db, 2003, "total cash receipts")
+
+	// The card-minimal repair is set-minimal.
+	minimal := &core.Repair{Updates: []core.Update{
+		{Item: tcr, Old: relational.Int(250), New: relational.Int(220)},
+	}}
+	ok, err := core.IsSetMinimal(db, acs, minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("the unique card-minimal repair must be set-minimal")
+	}
+
+	// Example 7's card-3 repair is ALSO set-minimal (no proper subset of
+	// its three updates is a repair), despite not being card-minimal —
+	// the distinction between the two semantics in [16].
+	ex7 := &core.Repair{Updates: []core.Update{
+		{Item: findItem(t, db, 2003, "cash sales"), Old: relational.Int(100), New: relational.Int(130)},
+		{Item: findItem(t, db, 2003, "long-term financing"), Old: relational.Int(40), New: relational.Int(70)},
+		{Item: findItem(t, db, 2003, "total disbursements"), Old: relational.Int(160), New: relational.Int(190)},
+	}}
+	ok, err = core.IsSetMinimal(db, acs, ex7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Example 7's repair is set-minimal but was rejected")
+	}
+
+	// A padded repair (the minimal one plus a gratuitous compensating pair)
+	// is not set-minimal.
+	padded := &core.Repair{Updates: []core.Update{
+		{Item: tcr, Old: relational.Int(250), New: relational.Int(220)},
+		{Item: findItem(t, db, 2004, "cash sales"), Old: relational.Int(100), New: relational.Int(150)},
+		{Item: findItem(t, db, 2004, "receivables"), Old: relational.Int(100), New: relational.Int(50)},
+	}}
+	ok, err = core.IsSetMinimal(db, acs, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("padded repair must not be set-minimal")
+	}
+
+	// A non-repair is rejected with an error.
+	bogus := &core.Repair{Updates: []core.Update{
+		{Item: tcr, Old: relational.Int(250), New: relational.Int(230)},
+	}}
+	if _, err := core.IsSetMinimal(db, acs, bogus); err == nil {
+		t.Error("IsSetMinimal must reject non-repairs")
+	}
+}

@@ -1,0 +1,156 @@
+// Package core implements the paper's primary contribution: computing a
+// card-minimal repair of a database violating a set of steady aggregate
+// constraints (Sections 3.2 and 5).
+//
+// The computation path mirrors the paper exactly: the steady constraints
+// are grounded and translated into the linear system S(AC) over one
+// variable z_i per involved measure value; displacement variables
+// y_i = z_i - v_i and big-M binary indicators delta_i extend it to S”(AC);
+// minimizing sum(delta_i) yields the optimization problem S*(AC) (Eq. 8)
+// whose optima are exactly the card-minimal repairs. The package also
+// provides an exact cardinality-search solver and two greedy heuristics as
+// evaluation baselines.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dart/internal/aggrcons"
+	"dart/internal/relational"
+)
+
+// Item addresses one database value t[A]: the unit the repairing machinery
+// updates (a <tuple, attribute> pair in the paper's notation).
+type Item struct {
+	Relation string
+	TupleID  int
+	Attr     string
+}
+
+// String renders the item as Relation[id].Attr.
+func (it Item) String() string {
+	return fmt.Sprintf("%s[%d].%s", it.Relation, it.TupleID, it.Attr)
+}
+
+// less orders items by relation, tuple id, then attribute.
+func (it Item) less(o Item) bool {
+	if it.Relation != o.Relation {
+		return it.Relation < o.Relation
+	}
+	if it.TupleID != o.TupleID {
+		return it.TupleID < o.TupleID
+	}
+	return it.Attr < o.Attr
+}
+
+// Update is an atomic update <t, A, v'> (Definition 2): it replaces the
+// value of Item with New. Old records the replaced value for presentation
+// and validation.
+type Update struct {
+	Item Item
+	Old  relational.Value
+	New  relational.Value
+}
+
+// String renders the update.
+func (u Update) String() string {
+	return fmt.Sprintf("%s: %s -> %s", u.Item, u.Old, u.New)
+}
+
+// Repair is a consistent database update (Definition 3): a set of atomic
+// updates touching pairwise-distinct <tuple, attribute> pairs, which when
+// applied yields a database satisfying the constraints (Definition 4).
+type Repair struct {
+	Updates []Update
+}
+
+// Card returns |lambda(rho)|: the number of value changes the repair makes.
+func (r *Repair) Card() int { return len(r.Updates) }
+
+// Validate checks Definition 3: no two updates may address the same item,
+// no update may be a no-op, and each item must exist with a measure-domain
+// compatible value.
+func (r *Repair) Validate(db *relational.Database) error {
+	seen := make(map[Item]bool, len(r.Updates))
+	for _, u := range r.Updates {
+		if seen[u.Item] {
+			return fmt.Errorf("core: repair updates item %s twice", u.Item)
+		}
+		seen[u.Item] = true
+		if u.New.Equal(u.Old) {
+			return fmt.Errorf("core: update on %s is a no-op (%s)", u.Item, u.New)
+		}
+		rel := db.Relation(u.Item.Relation)
+		if rel == nil {
+			return fmt.Errorf("core: repair references unknown relation %q", u.Item.Relation)
+		}
+		t := rel.TupleByID(u.Item.TupleID)
+		if t == nil {
+			return fmt.Errorf("core: repair references missing tuple %s", u.Item)
+		}
+		if !db.IsMeasure(u.Item.Relation, u.Item.Attr) {
+			return fmt.Errorf("core: repair touches non-measure attribute %s", u.Item)
+		}
+	}
+	return nil
+}
+
+// Apply performs the repair on db in place.
+func (r *Repair) Apply(db *relational.Database) error {
+	if err := r.Validate(db); err != nil {
+		return err
+	}
+	for _, u := range r.Updates {
+		if err := db.Relation(u.Item.Relation).SetValue(u.Item.TupleID, u.Item.Attr, u.New); err != nil {
+			return fmt.Errorf("core: applying %s: %w", u, err)
+		}
+	}
+	return nil
+}
+
+// Applied returns a repaired copy of db, leaving db untouched.
+func (r *Repair) Applied(db *relational.Database) (*relational.Database, error) {
+	c := db.Clone()
+	if err := r.Apply(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Sort orders the updates deterministically (by item).
+func (r *Repair) Sort() {
+	sort.Slice(r.Updates, func(i, j int) bool { return r.Updates[i].Item.less(r.Updates[j].Item) })
+}
+
+// String renders the repair as a brace-enclosed update set.
+func (r *Repair) String() string {
+	if len(r.Updates) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(r.Updates))
+	for i, u := range r.Updates {
+		parts[i] = u.String()
+	}
+	return "{ " + strings.Join(parts, "; ") + " }"
+}
+
+// VerifyRepairs reports whether applying the repair yields a database
+// consistent with the constraints (the definition of a repair). It returns
+// the repaired database on success.
+func VerifyRepairs(db *relational.Database, acs []*aggrcons.Constraint, r *Repair, eps float64) (*relational.Database, error) {
+	repaired, err := r.Applied(db)
+	if err != nil {
+		return nil, err
+	}
+	viols, err := aggrcons.Check(repaired, acs, eps)
+	if err != nil {
+		return nil, err
+	}
+	if len(viols) > 0 {
+		return nil, fmt.Errorf("core: repaired database still violates %d ground constraints (first: %s)",
+			len(viols), viols[0])
+	}
+	return repaired, nil
+}

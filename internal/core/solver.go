@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"dart/internal/aggrcons"
+	"dart/internal/milp"
+	"dart/internal/relational"
+)
+
+// Result is the outcome of a repair computation.
+type Result struct {
+	// Repair is the computed repair (nil when Status is not optimal).
+	Repair *Repair
+	// Status is the solver outcome.
+	Status milp.Status
+	// Card is the repair cardinality (the optimum of S*(AC)).
+	Card int
+	// Nodes and Iterations account for branch-and-bound/simplex work.
+	Nodes      int
+	Iterations int
+	// M is the big-M bound that produced the result.
+	M float64
+	// Escalations counts how many times M had to be enlarged.
+	Escalations int
+	// Components counts the connected components actually solved (0 when
+	// decomposition is disabled).
+	Components int
+}
+
+// Solver computes repairs for databases violating steady aggregate
+// constraints. Implementations: MILPSolver (the paper's method),
+// CardinalitySearchSolver (exact alternative), GreedyLocalSolver and
+// GreedyAggregateSolver (heuristic baselines for the evaluation).
+type Solver interface {
+	// Name identifies the solver in benchmark reports.
+	Name() string
+	// FindRepair computes a repair of db w.r.t. acs. Forced pins items to
+	// operator-supplied values (may be nil).
+	FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error)
+}
+
+// MILPSolver computes a card-minimal repair by solving S*(AC) (Section 5).
+type MILPSolver struct {
+	// Formulation selects the literal Eq.-(8) layout or the reduced one.
+	Formulation Formulation
+	// BigM overrides the big-M constant; 0 derives it from the data.
+	BigM float64
+	// Options tunes the underlying branch-and-bound.
+	Options milp.MILPOptions
+	// SkipVerify disables the post-solve consistency verification.
+	SkipVerify bool
+	// DisableCoverCuts turns off the violated-row cover cuts (for the E8
+	// ablation); see CompileOptions.DisableCoverCuts.
+	DisableCoverCuts bool
+	// DisableDecomposition solves the whole system as one MILP instead of
+	// per connected component (for the E3 ablation).
+	DisableDecomposition bool
+	// Workers bounds the number of connected components solved
+	// concurrently; 0 or 1 solves sequentially. Components are independent
+	// subproblems, so parallel solving is exact; results merge in
+	// deterministic component order.
+	Workers int
+	// MaxEscalations bounds big-M escalation attempts (default 3).
+	MaxEscalations int
+}
+
+// Name implements Solver.
+func (s *MILPSolver) Name() string { return "milp-" + s.Formulation.String() }
+
+// FindRepair implements Solver.
+func (s *MILPSolver) FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
+	sys, err := BuildSystem(db, acs)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	if s.DisableDecomposition {
+		res, err = s.solveSystem(sys, forced, db)
+	} else {
+		res, err = s.solveDecomposed(sys, forced, db)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Repair != nil {
+		res.Repair.Sort()
+		res.Card = res.Repair.Card()
+		if !s.SkipVerify {
+			if _, err := VerifyRepairs(db, acs, res.Repair, 1e-6); err != nil {
+				return nil, fmt.Errorf("core: MILP solution failed verification: %w", err)
+			}
+		}
+	}
+	return res, nil
+}
+
+// solveDecomposed splits the system into connected components and solves
+// only those containing violated rows, optionally in parallel.
+func (s *MILPSolver) solveDecomposed(sys *System, forced map[Item]float64, db *relational.Database) (*Result, error) {
+	total := &Result{Status: milp.StatusOptimal, Repair: &Repair{}}
+	var pending []*System
+	for _, sub := range sys.Split() {
+		vals := append([]float64(nil), sub.V...)
+		for it, v := range forced {
+			if i := sub.IndexOf(it); i >= 0 {
+				vals[i] = v
+			}
+		}
+		if len(violatedRows(sub, vals, 1e-6)) == 0 {
+			// The component is consistent; forced items that differ from
+			// the acquired values still become updates.
+			rep := repairFromValues(db, sub, vals)
+			total.Repair.Updates = append(total.Repair.Updates, rep.Updates...)
+			continue
+		}
+		if len(sub.Items) == 0 {
+			// A violated variable-free row: no repair exists.
+			return &Result{Status: milp.StatusInfeasible}, nil
+		}
+		pending = append(pending, sub)
+	}
+
+	results := make([]*Result, len(pending))
+	errs := make([]error, len(pending))
+	if s.Workers > 1 && len(pending) > 1 {
+		sem := make(chan struct{}, s.Workers)
+		var wg sync.WaitGroup
+		for i, sub := range pending {
+			wg.Add(1)
+			go func(i int, sub *System) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = s.solveSystem(sub, forced, db)
+			}(i, sub)
+		}
+		wg.Wait()
+	} else {
+		for i, sub := range pending {
+			results[i], errs[i] = s.solveSystem(sub, forced, db)
+		}
+	}
+
+	for i := range pending {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res := results[i]
+		total.Nodes += res.Nodes
+		total.Iterations += res.Iterations
+		total.Escalations += res.Escalations
+		total.Components++
+		if res.M > total.M {
+			total.M = res.M
+		}
+		if res.Status != milp.StatusOptimal {
+			return &Result{Status: res.Status, Nodes: total.Nodes, Iterations: total.Iterations}, nil
+		}
+		total.Repair.Updates = append(total.Repair.Updates, res.Repair.Updates...)
+	}
+	return total, nil
+}
+
+// solveSystem compiles and solves one system, escalating the big-M bound
+// when it proves binding or spuriously infeasible.
+func (s *MILPSolver) solveSystem(sys *System, forced map[Item]float64, db *relational.Database) (*Result, error) {
+	maxEsc := s.MaxEscalations
+	if maxEsc == 0 {
+		maxEsc = 3
+	}
+	mBound := s.BigM
+	if mBound <= 0 {
+		mBound = sys.PracticalM()
+	}
+	res := &Result{}
+	for attempt := 0; ; attempt++ {
+		comp, err := Compile(sys, CompileOptions{
+			Formulation:      s.Formulation,
+			BigM:             mBound,
+			Forced:           forced,
+			DisableCoverCuts: s.DisableCoverCuts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sol, err := milp.Solve(comp.Model, s.Options)
+		if err != nil {
+			return nil, err
+		}
+		res.Status = sol.Status
+		res.Nodes += sol.Nodes
+		res.Iterations += sol.Iterations
+		res.M = mBound
+		if sol.Status != milp.StatusOptimal {
+			// Infeasibility can be an artifact of a too-small M: escalate.
+			if sol.Status == milp.StatusInfeasible && attempt < maxEsc {
+				mBound *= 32
+				res.Escalations++
+				continue
+			}
+			return res, nil
+		}
+		if comp.BoundBinding(sol.X) && attempt < maxEsc {
+			mBound *= 32
+			res.Escalations++
+			continue
+		}
+		rep, err := comp.ExtractRepair(db, sol.X)
+		if err != nil {
+			return nil, err
+		}
+		res.Repair = rep
+		res.Card = rep.Card()
+		return res, nil
+	}
+}

@@ -1,0 +1,196 @@
+package dbgen_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dart/internal/dbgen"
+	"dart/internal/docgen"
+	"dart/internal/relational"
+	"dart/internal/runningex"
+	"dart/internal/scenario"
+	"dart/internal/wrapper"
+)
+
+// extractRunningExample runs the wrapper on the Fig. 1 document and feeds
+// the instances to the generator built from the scenario metadata.
+func extractRunningExample(t *testing.T) (*relational.Database, []dbgen.RowError) {
+	t.Helper()
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := md.NewWrapper()
+	instances, skipped, err := w.Extract(docgen.RunningExampleDocument().HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped: %+v", skipped)
+	}
+	db, rowErrs, err := md.NewGenerator().Generate(instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, rowErrs
+}
+
+func TestGenerateRunningExampleMatchesFig3(t *testing.T) {
+	db, rowErrs := extractRunningExample(t)
+	if len(rowErrs) != 0 {
+		t.Fatalf("row errors: %v", rowErrs)
+	}
+	want := runningex.CorrectDatabase()
+	got := db.Relation("CashBudget")
+	wantRel := want.Relation("CashBudget")
+	if got.Len() != 20 {
+		t.Fatalf("tuples = %d", got.Len())
+	}
+	for i, tp := range got.Tuples() {
+		if tp.String() != wantRel.Tuples()[i].String() {
+			t.Errorf("tuple %d: %s, want %s", i, tp, wantRel.Tuples()[i])
+		}
+	}
+	if !db.IsMeasure("CashBudget", "Value") {
+		t.Error("measure designation lost")
+	}
+}
+
+func TestGenerateClassificationDrivesType(t *testing.T) {
+	db, _ := extractRunningExample(t)
+	r := db.Relation("CashBudget")
+	for _, tp := range r.Tuples() {
+		sub := tp.Get("Subsection").AsString()
+		if got, want := tp.Get("Type").AsString(), runningex.TypeOf[sub]; got != want {
+			t.Errorf("%s: Type = %q, want %q", sub, got, want)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := md.NewGenerator()
+
+	bad := *g
+	bad.CellOf = map[string]string{"Year": "Year"} // others lose their source
+	if _, _, err := bad.Generate(nil); err == nil {
+		t.Error("missing sources must fail validation")
+	}
+
+	bad2 := *g
+	bad2.Measures = []string{"Section"}
+	if _, _, err := bad2.Generate(nil); err == nil {
+		t.Error("non-numerical measure must fail")
+	}
+
+	bad3 := *g
+	bad3.Schema = nil
+	if _, _, err := bad3.Generate(nil); err == nil {
+		t.Error("nil schema must fail")
+	}
+
+	bad4 := *g
+	both := map[string]string{}
+	for k, v := range g.CellOf {
+		both[k] = v
+	}
+	both["Type"] = "Subsection" // Type now has cell AND classification
+	bad4.CellOf = both
+	if _, _, err := bad4.Generate(nil); err == nil {
+		t.Error("double-sourced attribute must fail")
+	}
+}
+
+func TestGenerateRowErrors(t *testing.T) {
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := md.NewGenerator()
+	pat := md.Patterns[0]
+	mk := func(cells ...string) *wrapper.Instance {
+		in := &wrapper.Instance{Pattern: pat, Cells: make([]wrapper.CellMatch, len(cells))}
+		for i, c := range cells {
+			in.Cells[i] = wrapper.CellMatch{Value: c, Score: 1}
+		}
+		return in
+	}
+	good := mk("2003", "Receipts", "cash sales", "100")
+	badYear := mk("banana", "Receipts", "cash sales", "100")
+	badClass := mk("2003", "Receipts", "mystery item", "100")
+	db, rowErrs, err := g.Generate([]*wrapper.Instance{good, badYear, badClass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("CashBudget").Len() != 1 {
+		t.Errorf("tuples = %d, want 1", db.Relation("CashBudget").Len())
+	}
+	if len(rowErrs) != 2 {
+		t.Fatalf("rowErrs = %v", rowErrs)
+	}
+	if !strings.Contains(rowErrs[0].Error(), "Year") {
+		t.Errorf("first error = %v", rowErrs[0])
+	}
+	if !strings.Contains(rowErrs[1].Error(), "no class") {
+		t.Errorf("second error = %v", rowErrs[1])
+	}
+}
+
+func TestGenerateMissingHeadline(t *testing.T) {
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := md.NewGenerator()
+	// An instance from a foreign pattern lacking the expected headlines.
+	foreign := &wrapper.RowPattern{Name: "other", Cells: []wrapper.PatternCell{
+		{Headline: "X", Kind: wrapper.KindString, SpecializationOf: -1},
+	}}
+	in := &wrapper.Instance{Pattern: foreign, Cells: []wrapper.CellMatch{{Value: "v", Score: 1}}}
+	db, rowErrs, err := g.Generate([]*wrapper.Instance{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("CashBudget").Len() != 0 || len(rowErrs) != 1 {
+		t.Errorf("tuples=%d errs=%v", db.Relation("CashBudget").Len(), rowErrs)
+	}
+}
+
+func TestGenerateCatalogScenario(t *testing.T) {
+	md, err := scenario.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := docgen.RandomOrders(newRand(), 10)
+	doc := docgen.OrdersDocument(orders)
+	instances, skipped, err := md.NewWrapper().Extract(doc.HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped: %+v", skipped)
+	}
+	db, rowErrs, err := md.NewGenerator().Generate(instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowErrs) != 0 {
+		t.Fatalf("row errors: %v", rowErrs)
+	}
+	want := docgen.OrdersDatabase(orders)
+	got := db.Relation("Orders")
+	if got.Len() != want.Relation("Orders").Len() {
+		t.Fatalf("tuples = %d, want %d", got.Len(), want.Relation("Orders").Len())
+	}
+	for i, tp := range got.Tuples() {
+		if tp.String() != want.Relation("Orders").Tuples()[i].String() {
+			t.Errorf("tuple %d: %s, want %s", i, tp, want.Relation("Orders").Tuples()[i])
+		}
+	}
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(4)) }

@@ -1,0 +1,227 @@
+package docgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dart/internal/relational"
+)
+
+// The balance-sheet scenario: the financial statement the paper's
+// introduction actually motivates ("The balance sheet is a financial
+// statement of a company providing information on what the company owns
+// (its assets), what it owes (its liabilities), and the value of the
+// business to its stockholders"). Unlike the running example's cash
+// budget, its constraint structure is three levels deep — leaf items roll
+// up into category subtotals, subtotals into the two sides of the
+// accounting equation, and the equation ties the sides together — so a
+// single leaf error can violate a chain of constraints.
+
+// BalanceItems lists the sheet's line items in document order.
+var BalanceItems = []string{
+	"cash",
+	"accounts receivable",
+	"inventory",
+	"total current assets",
+	"land",
+	"equipment",
+	"total fixed assets",
+	"total assets",
+	"accounts payable",
+	"short-term debt",
+	"total current liabilities",
+	"long-term debt",
+	"total long-term liabilities",
+	"common stock",
+	"retained earnings",
+	"total equity",
+	"total liabilities and equity",
+}
+
+// BalanceCategoryOf maps each item to its category.
+var BalanceCategoryOf = map[string]string{
+	"cash":                         "Current Assets",
+	"accounts receivable":          "Current Assets",
+	"inventory":                    "Current Assets",
+	"total current assets":         "Current Assets",
+	"land":                         "Fixed Assets",
+	"equipment":                    "Fixed Assets",
+	"total fixed assets":           "Fixed Assets",
+	"total assets":                 "Assets",
+	"accounts payable":             "Current Liabilities",
+	"short-term debt":              "Current Liabilities",
+	"total current liabilities":    "Current Liabilities",
+	"long-term debt":               "Long-Term Liabilities",
+	"total long-term liabilities":  "Long-Term Liabilities",
+	"common stock":                 "Equity",
+	"retained earnings":            "Equity",
+	"total equity":                 "Equity",
+	"total liabilities and equity": "Liabilities and Equity",
+}
+
+// BalanceKindOf classifies items as leaf details ('det'), category
+// subtotals ('sub'), or top-level derived values ('drv').
+var BalanceKindOf = map[string]string{
+	"cash":                         "det",
+	"accounts receivable":          "det",
+	"inventory":                    "det",
+	"total current assets":         "sub",
+	"land":                         "det",
+	"equipment":                    "det",
+	"total fixed assets":           "sub",
+	"total assets":                 "drv",
+	"accounts payable":             "det",
+	"short-term debt":              "det",
+	"total current liabilities":    "sub",
+	"long-term debt":               "det",
+	"total long-term liabilities":  "sub",
+	"common stock":                 "det",
+	"retained earnings":            "det",
+	"total equity":                 "sub",
+	"total liabilities and equity": "drv",
+}
+
+// BalanceSheetYear holds one year's amounts, in BalanceItems order.
+type BalanceSheetYear struct {
+	Year    int64
+	Amounts [17]int64
+}
+
+// item indexes into Amounts.
+const (
+	bsCash = iota
+	bsAccountsReceivable
+	bsInventory
+	bsTotalCurrentAssets
+	bsLand
+	bsEquipment
+	bsTotalFixedAssets
+	bsTotalAssets
+	bsAccountsPayable
+	bsShortTermDebt
+	bsTotalCurrentLiab
+	bsLongTermDebt
+	bsTotalLongTermLiab
+	bsCommonStock
+	bsRetainedEarnings
+	bsTotalEquity
+	bsTotalLiabEquity
+)
+
+// Consistent reports whether the year satisfies all seven balance-sheet
+// constraints, including the accounting equation.
+func (b BalanceSheetYear) Consistent() bool {
+	a := b.Amounts
+	return a[bsCash]+a[bsAccountsReceivable]+a[bsInventory] == a[bsTotalCurrentAssets] &&
+		a[bsLand]+a[bsEquipment] == a[bsTotalFixedAssets] &&
+		a[bsTotalCurrentAssets]+a[bsTotalFixedAssets] == a[bsTotalAssets] &&
+		a[bsAccountsPayable]+a[bsShortTermDebt] == a[bsTotalCurrentLiab] &&
+		a[bsLongTermDebt] == a[bsTotalLongTermLiab] &&
+		a[bsCommonStock]+a[bsRetainedEarnings] == a[bsTotalEquity] &&
+		a[bsTotalCurrentLiab]+a[bsTotalLongTermLiab]+a[bsTotalEquity] == a[bsTotalLiabEquity] &&
+		a[bsTotalAssets] == a[bsTotalLiabEquity]
+}
+
+// RandomBalanceSheet generates consistent balance-sheet years: asset and
+// liability leaves are drawn from rng and retained earnings balances the
+// accounting equation.
+func RandomBalanceSheet(rng *rand.Rand, startYear int64, years int) []BalanceSheetYear {
+	out := make([]BalanceSheetYear, years)
+	for i := range out {
+		var a [17]int64
+		a[bsCash] = int64(rng.Intn(90)+10) * 10
+		a[bsAccountsReceivable] = int64(rng.Intn(60)) * 10
+		a[bsInventory] = int64(rng.Intn(80)) * 10
+		a[bsTotalCurrentAssets] = a[bsCash] + a[bsAccountsReceivable] + a[bsInventory]
+		a[bsLand] = int64(rng.Intn(50)) * 100
+		a[bsEquipment] = int64(rng.Intn(40)) * 100
+		a[bsTotalFixedAssets] = a[bsLand] + a[bsEquipment]
+		a[bsTotalAssets] = a[bsTotalCurrentAssets] + a[bsTotalFixedAssets]
+		a[bsAccountsPayable] = int64(rng.Intn(50)) * 10
+		a[bsShortTermDebt] = int64(rng.Intn(30)) * 10
+		a[bsTotalCurrentLiab] = a[bsAccountsPayable] + a[bsShortTermDebt]
+		a[bsLongTermDebt] = int64(rng.Intn(30)) * 100
+		a[bsTotalLongTermLiab] = a[bsLongTermDebt]
+		a[bsCommonStock] = int64(rng.Intn(20)+1) * 100
+		a[bsTotalEquity] = a[bsTotalAssets] - a[bsTotalCurrentLiab] - a[bsTotalLongTermLiab]
+		a[bsRetainedEarnings] = a[bsTotalEquity] - a[bsCommonStock]
+		a[bsTotalLiabEquity] = a[bsTotalAssets]
+		out[i] = BalanceSheetYear{Year: startYear + int64(i), Amounts: a}
+	}
+	return out
+}
+
+// BalanceSheetDocument renders the years as one table per year with the
+// year spanning all rows and each category spanning its item rows.
+func BalanceSheetDocument(years []BalanceSheetYear) *Document {
+	d := &Document{Title: "Balance sheets"}
+	for _, y := range years {
+		t := &Table{}
+		// Count category block sizes in document order.
+		var blocks []struct {
+			cat  string
+			size int
+		}
+		for _, item := range BalanceItems {
+			cat := BalanceCategoryOf[item]
+			if len(blocks) == 0 || blocks[len(blocks)-1].cat != cat {
+				blocks = append(blocks, struct {
+					cat  string
+					size int
+				}{cat, 0})
+			}
+			blocks[len(blocks)-1].size++
+		}
+		bi, used := 0, 0
+		for i, item := range BalanceItems {
+			var row []Cell
+			if i == 0 {
+				row = append(row, RS(fmt.Sprint(y.Year), len(BalanceItems)))
+			}
+			if used == 0 {
+				row = append(row, RS(blocks[bi].cat, blocks[bi].size))
+			}
+			row = append(row, C(item), C(fmt.Sprint(y.Amounts[i])))
+			used++
+			if used == blocks[bi].size {
+				bi++
+				used = 0
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		d.Tables = append(d.Tables, t)
+	}
+	return d
+}
+
+// BalanceSheetSchema returns the scheme of the scenario.
+func BalanceSheetSchema() *relational.Schema {
+	return relational.MustSchema("BalanceSheet",
+		relational.Attribute{Name: "Year", Domain: relational.DomainInt},
+		relational.Attribute{Name: "Category", Domain: relational.DomainString},
+		relational.Attribute{Name: "Item", Domain: relational.DomainString},
+		relational.Attribute{Name: "Kind", Domain: relational.DomainString},
+		relational.Attribute{Name: "Amount", Domain: relational.DomainInt},
+	)
+}
+
+// BalanceSheetDatabase builds the ground-truth instance.
+func BalanceSheetDatabase(years []BalanceSheetYear) *relational.Database {
+	db := relational.NewDatabase()
+	r := db.MustAddRelation(BalanceSheetSchema())
+	for _, y := range years {
+		for i, item := range BalanceItems {
+			r.MustInsert(
+				relational.Int(y.Year),
+				relational.String(BalanceCategoryOf[item]),
+				relational.String(item),
+				relational.String(BalanceKindOf[item]),
+				relational.Int(y.Amounts[i]),
+			)
+		}
+	}
+	if err := db.DesignateMeasure("BalanceSheet", "Amount"); err != nil {
+		panic(err)
+	}
+	return db
+}

@@ -1,0 +1,129 @@
+package docgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dart/internal/relational"
+	"dart/internal/runningex"
+)
+
+// BudgetYear holds the ten cash-budget values of one year, in
+// runningex.Subsections order.
+type BudgetYear struct {
+	Year   int64
+	Values [10]int64
+}
+
+// indices into BudgetYear.Values, following runningex.Subsections.
+const (
+	idxBeginningCash = iota
+	idxCashSales
+	idxReceivables
+	idxTotalCashReceipts
+	idxPaymentOfAccounts
+	idxCapitalExpenditure
+	idxLongTermFinancing
+	idxTotalDisbursements
+	idxNetCashInflow
+	idxEndingCashBalance
+)
+
+// Consistent reports whether the year's values satisfy the four constraints
+// of Example 1.
+func (b BudgetYear) Consistent() bool {
+	v := b.Values
+	return v[idxCashSales]+v[idxReceivables] == v[idxTotalCashReceipts] &&
+		v[idxPaymentOfAccounts]+v[idxCapitalExpenditure]+v[idxLongTermFinancing] == v[idxTotalDisbursements] &&
+		v[idxTotalCashReceipts]-v[idxTotalDisbursements] == v[idxNetCashInflow] &&
+		v[idxBeginningCash]+v[idxNetCashInflow] == v[idxEndingCashBalance]
+}
+
+// RandomBudget generates a consistent multi-year cash budget: detail values
+// are drawn from rng, aggregates and derived values are computed, and the
+// ending cash balance of each year carries over as the next year's
+// beginning cash (as in Fig. 1's 2003 -> 2004 chain).
+func RandomBudget(rng *rand.Rand, startYear int64, years int) []BudgetYear {
+	out := make([]BudgetYear, years)
+	beginning := int64(rng.Intn(200)) * 10
+	for i := range out {
+		var v [10]int64
+		v[idxBeginningCash] = beginning
+		v[idxCashSales] = int64(rng.Intn(50)) * 10
+		v[idxReceivables] = int64(rng.Intn(50)) * 10
+		v[idxTotalCashReceipts] = v[idxCashSales] + v[idxReceivables]
+		v[idxPaymentOfAccounts] = int64(rng.Intn(40)) * 10
+		v[idxCapitalExpenditure] = int64(rng.Intn(20)) * 10
+		v[idxLongTermFinancing] = int64(rng.Intn(20)) * 10
+		v[idxTotalDisbursements] = v[idxPaymentOfAccounts] + v[idxCapitalExpenditure] + v[idxLongTermFinancing]
+		v[idxNetCashInflow] = v[idxTotalCashReceipts] - v[idxTotalDisbursements]
+		v[idxEndingCashBalance] = v[idxBeginningCash] + v[idxNetCashInflow]
+		out[i] = BudgetYear{Year: startYear + int64(i), Values: v}
+		beginning = v[idxEndingCashBalance]
+	}
+	return out
+}
+
+// BudgetDocument renders the budget years as a Fig. 1-style document: one
+// table per year with a year cell spanning all ten rows and section cells
+// spanning their subsection rows.
+func BudgetDocument(years []BudgetYear) *Document {
+	d := &Document{Title: "Cash budgets"}
+	for _, y := range years {
+		t := &Table{}
+		subs := runningex.Subsections
+		for i, sub := range subs {
+			var row []Cell
+			if i == 0 {
+				row = append(row, RS(fmt.Sprint(y.Year), len(subs)))
+			}
+			switch i {
+			case 0:
+				row = append(row, RS("Receipts", 4))
+			case 4:
+				row = append(row, RS("Disbursements", 4))
+			case 8:
+				row = append(row, RS("Balance", 2))
+			}
+			row = append(row, C(sub), C(fmt.Sprint(y.Values[i])))
+			t.Rows = append(t.Rows, row)
+		}
+		d.Tables = append(d.Tables, t)
+	}
+	return d
+}
+
+// BudgetDatabase builds the ground-truth relational instance for the
+// budget years (the output a perfect acquisition would produce).
+func BudgetDatabase(years []BudgetYear) *relational.Database {
+	db := relational.NewDatabase()
+	r := db.MustAddRelation(runningex.Schema())
+	for _, y := range years {
+		for i, sub := range runningex.Subsections {
+			r.MustInsert(
+				relational.Int(y.Year),
+				relational.String(runningex.SectionOf[sub]),
+				relational.String(sub),
+				relational.String(runningex.TypeOf[sub]),
+				relational.Int(y.Values[i]),
+			)
+		}
+	}
+	if err := db.DesignateMeasure("CashBudget", "Value"); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// RunningExampleBudget returns the exact two years of Fig. 1.
+func RunningExampleBudget() []BudgetYear {
+	return []BudgetYear{
+		{Year: 2003, Values: [10]int64{20, 100, 120, 220, 120, 0, 40, 160, 60, 80}},
+		{Year: 2004, Values: [10]int64{80, 100, 100, 200, 130, 40, 20, 190, 10, 90}},
+	}
+}
+
+// RunningExampleDocument returns the Fig. 1 document.
+func RunningExampleDocument() *Document {
+	return BudgetDocument(RunningExampleBudget())
+}

@@ -1,0 +1,111 @@
+package docgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dart/internal/relational"
+)
+
+// OrderLine is one line of a purchase order: a product line ('line') or the
+// order's total line ('total').
+type OrderLine struct {
+	Product string
+	Kind    string // "line" or "total"
+	Amount  int64
+}
+
+// Order is one purchase order of the catalog scenario (the web product
+// catalog / e-procurement motivation of the paper's introduction).
+type Order struct {
+	ID    string
+	Lines []OrderLine
+}
+
+// catalogProducts is the product lexicon of the scenario.
+var catalogProducts = []string{
+	"laser printer", "ink cartridge", "office chair", "standing desk",
+	"usb cable", "wireless mouse", "mechanical keyboard", "lcd monitor",
+	"paper shredder", "desk lamp",
+}
+
+// CatalogProducts returns the product lexical items of the scenario.
+func CatalogProducts() []string { return append([]string(nil), catalogProducts...) }
+
+// RandomOrders generates consistent purchase orders: each order has 2-5
+// distinct product lines plus a total line summing them.
+func RandomOrders(rng *rand.Rand, n int) []Order {
+	out := make([]Order, n)
+	for i := range out {
+		o := Order{ID: fmt.Sprintf("PO-%04d", i+1)}
+		k := 2 + rng.Intn(4)
+		perm := rng.Perm(len(catalogProducts))[:k]
+		total := int64(0)
+		for _, pi := range perm {
+			amt := int64(1+rng.Intn(99)) * 5
+			o.Lines = append(o.Lines, OrderLine{Product: catalogProducts[pi], Kind: "line", Amount: amt})
+			total += amt
+		}
+		o.Lines = append(o.Lines, OrderLine{Product: "order total", Kind: "total", Amount: total})
+		out[i] = o
+	}
+	return out
+}
+
+// OrdersDocument renders orders as a single table whose order-ID cells span
+// the order's lines — the same variable structure as the cash budgets.
+func OrdersDocument(orders []Order) *Document {
+	d := &Document{Title: "Purchase orders"}
+	t := &Table{Caption: "Orders"}
+	for _, o := range orders {
+		for li, l := range o.Lines {
+			var row []Cell
+			if li == 0 {
+				row = append(row, RS(o.ID, len(o.Lines)))
+			}
+			row = append(row, C(l.Product), C(fmt.Sprint(l.Amount)))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	d.Tables = append(d.Tables, t)
+	return d
+}
+
+// OrdersSchema returns the Orders(OrderID, Product, Kind, Amount) scheme.
+func OrdersSchema() *relational.Schema {
+	return relational.MustSchema("Orders",
+		relational.Attribute{Name: "OrderID", Domain: relational.DomainString},
+		relational.Attribute{Name: "Product", Domain: relational.DomainString},
+		relational.Attribute{Name: "Kind", Domain: relational.DomainString},
+		relational.Attribute{Name: "Amount", Domain: relational.DomainInt},
+	)
+}
+
+// OrdersDatabase builds the ground-truth instance for the orders.
+func OrdersDatabase(orders []Order) *relational.Database {
+	db := relational.NewDatabase()
+	r := db.MustAddRelation(OrdersSchema())
+	for _, o := range orders {
+		for _, l := range o.Lines {
+			r.MustInsert(
+				relational.String(o.ID),
+				relational.String(l.Product),
+				relational.String(l.Kind),
+				relational.Int(l.Amount),
+			)
+		}
+	}
+	if err := db.DesignateMeasure("Orders", "Amount"); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// OrdersConstraintSource is the catalog scenario's constraint in the DSL:
+// per order, line amounts must sum to the order total.
+const OrdersConstraintSource = `
+func lineSum(o)  := SELECT sum(Amount) FROM Orders WHERE OrderID = o AND Kind = 'line'
+func totalSum(o) := SELECT sum(Amount) FROM Orders WHERE OrderID = o AND Kind = 'total'
+constraint OrderBalance:
+    Orders(o, _, _, _) ==> lineSum(o) - totalSum(o) = 0
+`

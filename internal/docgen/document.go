@@ -1,0 +1,170 @@
+// Package docgen provides the input-document substrate: a small document
+// model (tables of cells with row/column spans), renderers to HTML and to a
+// plain "scan text" layer (the simulated OCR output of a paper document),
+// and synthetic generators for the two application scenarios the paper
+// motivates — cash budgets (Example 1/Fig. 1) and web product catalogs —
+// each with exact ground truth for evaluating the repairing pipeline.
+package docgen
+
+import (
+	"fmt"
+	"strings"
+
+	"dart/internal/htmlx"
+)
+
+// Cell is one document-table cell.
+type Cell struct {
+	Text    string
+	RowSpan int
+	ColSpan int
+}
+
+// C is shorthand for an unspanned cell.
+func C(text string) Cell { return Cell{Text: text, RowSpan: 1, ColSpan: 1} }
+
+// RS is shorthand for a cell spanning n rows.
+func RS(text string, n int) Cell { return Cell{Text: text, RowSpan: n, ColSpan: 1} }
+
+// Table is one tabular region of a document.
+type Table struct {
+	Caption string
+	Rows    [][]Cell
+}
+
+// Document is an input document: a titled sequence of tables. This is the
+// ground-truth form; the acquisition module only ever sees a rendering of
+// it (HTML for electronic documents, scan text for paper ones).
+type Document struct {
+	Title  string
+	Tables []*Table
+}
+
+// HTML renders the document as the HTML the acquisition module's format
+// converter would produce.
+func (d *Document) HTML() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+	b.WriteString(htmlx.EscapeText(d.Title))
+	b.WriteString("</title></head>\n<body>\n")
+	for _, t := range d.Tables {
+		if t.Caption != "" {
+			fmt.Fprintf(&b, "<h2>%s</h2>\n", htmlx.EscapeText(t.Caption))
+		}
+		b.WriteString("<table>\n")
+		for _, row := range t.Rows {
+			b.WriteString("  <tr>")
+			for _, c := range row {
+				b.WriteString("<td")
+				if c.RowSpan > 1 {
+					fmt.Fprintf(&b, ` rowspan="%d"`, c.RowSpan)
+				}
+				if c.ColSpan > 1 {
+					fmt.Fprintf(&b, ` colspan="%d"`, c.ColSpan)
+				}
+				b.WriteString(">")
+				b.WriteString(htmlx.EscapeText(c.Text))
+				b.WriteString("</td>")
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// ScanText renders the document as the plain-text layer an OCR tool yields
+// for a paper document: pipe-separated cells, one line per table row, with
+// spanning cells repeated on each covered line (what a scanner sees), and
+// tables separated by blank lines. The format converter turns this back
+// into HTML (package convert).
+func (d *Document) ScanText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", d.Title)
+	for ti, t := range d.Tables {
+		if ti > 0 {
+			b.WriteByte('\n')
+		}
+		if t.Caption != "" {
+			fmt.Fprintf(&b, "-- %s --\n", t.Caption)
+		}
+		grid := expandForScan(t)
+		for _, row := range grid {
+			b.WriteString(strings.Join(row, " | "))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// expandForScan expands spans into repeated text, mirroring Table.Grid but
+// on the document model.
+func expandForScan(t *Table) [][]string {
+	type hang struct {
+		rows, cols int
+		text       string
+	}
+	pending := map[int]*hang{}
+	var out [][]string
+	for _, srcRow := range t.Rows {
+		var row []string
+		col := 0
+		srcIdx := 0
+		for srcIdx < len(srcRow) || (pending[col] != nil && pending[col].rows > 0) {
+			if h := pending[col]; h != nil && h.rows > 0 {
+				for k := 0; k < h.cols; k++ {
+					row = append(row, h.text)
+				}
+				h.rows--
+				start := col
+				col += h.cols
+				if h.rows == 0 {
+					delete(pending, start)
+				}
+				continue
+			}
+			c := srcRow[srcIdx]
+			srcIdx++
+			start := col
+			span := c.ColSpan
+			if span < 1 {
+				span = 1
+			}
+			for k := 0; k < span; k++ {
+				row = append(row, c.Text)
+				col++
+			}
+			if c.RowSpan > 1 {
+				pending[start] = &hang{rows: c.RowSpan - 1, cols: span, text: c.Text}
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the document (for noise injection).
+func (d *Document) Clone() *Document {
+	c := &Document{Title: d.Title}
+	for _, t := range d.Tables {
+		nt := &Table{Caption: t.Caption, Rows: make([][]Cell, len(t.Rows))}
+		for i, row := range t.Rows {
+			nt.Rows[i] = append([]Cell(nil), row...)
+		}
+		c.Tables = append(c.Tables, nt)
+	}
+	return c
+}
+
+// Cells iterates over every cell of every table, invoking f with table,
+// row and cell indexes; f may mutate the cell through the pointer.
+func (d *Document) Cells(f func(table, row, col int, c *Cell)) {
+	for ti, t := range d.Tables {
+		for ri := range t.Rows {
+			for ci := range t.Rows[ri] {
+				f(ti, ri, ci, &t.Rows[ri][ci])
+			}
+		}
+	}
+}

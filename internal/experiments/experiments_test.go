@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func mustTable(t *testing.T, f func() (*Table, error)) *Table {
+	t.Helper()
+	tab, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s: empty table", tab.ID)
+	}
+	s := tab.Format()
+	if !strings.Contains(s, tab.ID) {
+		t.Errorf("Format missing ID:\n%s", s)
+	}
+	return tab
+}
+
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d)", tab.ID, row, col)
+	}
+	return tab.Rows[row][col]
+}
+
+func cellFloat(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tab, row, col), 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not a number", tab.ID, row, col, cell(t, tab, row, col))
+	}
+	return v
+}
+
+func TestE1AllChecksPass(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E1RunningExample() })
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E1 check failed: %v", row)
+		}
+	}
+}
+
+func TestE2ShapeClaims(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E2RepairQuality(8, 7) })
+	// Shape: with 1 error the repair is almost always the exact fix; the
+	// exact-fix rate decays with error count.
+	first := cellFloat(t, tab, 0, 3)
+	last := cellFloat(t, tab, len(tab.Rows)-1, 3)
+	if first < 0.7 {
+		t.Errorf("exact-fix rate at 1 error = %v, want high", first)
+	}
+	if last > first {
+		t.Errorf("exact-fix rate should not grow with errors: first %v, last %v", first, last)
+	}
+	// Cardinality never exceeds the number of injected errors.
+	for i := range tab.Rows {
+		errs := cellFloat(t, tab, i, 0)
+		card := cellFloat(t, tab, i, 2)
+		if card > errs+1e-9 {
+			t.Errorf("row %d: avg card %v > errors %v (card-minimality violated)", i, card, errs)
+		}
+	}
+}
+
+func TestE3ProducesAllSizes(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E3Scaling(2, 3) })
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if cell(t, tab, 5, 1) != "1000" {
+		t.Errorf("largest N = %s", cell(t, tab, 5, 1))
+	}
+}
+
+func TestE4OperatorEffortSmall(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E4OperatorLoop(5, 11) })
+	// A single error is always detectable (every value participates in at
+	// least one ground constraint) so the loop must recover the truth.
+	if got := cellFloat(t, tab, 0, 5); got != 1 {
+		t.Errorf("truth recovered at 1 error = %v, want 1.0", got)
+	}
+	// Larger error sets can cancel into a constraint-consistent state —
+	// invisible to any constraint-based repairer — so recovery may drop,
+	// but not collapse.
+	for i := range tab.Rows {
+		if got := cellFloat(t, tab, i, 5); got < 0.6 {
+			t.Errorf("row %d: truth recovered = %v, want >= 0.6", i, got)
+		}
+	}
+	// A single error settles within a couple of iterations (one extra when
+	// the ambiguous card-1 proposal blames the wrong cell first).
+	if got := cellFloat(t, tab, 0, 2); got > 3 {
+		t.Errorf("avg iterations at 1 error = %v", got)
+	}
+}
+
+func TestE5WrapperAccuracyDecaysWithNoise(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E5Wrapper(2, 5) })
+	// Zero-noise rows must be perfectly extracted for every t-norm.
+	for i := 0; i < 3; i++ {
+		if got := cellFloat(t, tab, i, 2); got != 1 {
+			t.Errorf("t-norm row %d: zero-noise accuracy = %v", i, got)
+		}
+	}
+	// Accuracy at the highest noise must not exceed zero-noise accuracy.
+	lastMin := cellFloat(t, tab, len(tab.Rows)-3, 2)
+	if lastMin > 1 {
+		t.Errorf("accuracy > 1: %v", lastMin)
+	}
+}
+
+func TestE6MILPNeverBeatenOnCardinality(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E6Baselines(6, 13) })
+	var milpCard float64 = -1
+	for _, row := range tab.Rows {
+		if row[0] == "milp-reduced" {
+			milpCard = mustFloat(t, row[2])
+			if got := mustFloat(t, row[3]); got != 1 {
+				t.Errorf("milp-reduced card-minimal rate = %v", got)
+			}
+		}
+	}
+	if milpCard < 0 {
+		t.Fatal("no milp-reduced row")
+	}
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "greedy") && row[1] != "0/6" {
+			if got := mustFloat(t, row[2]); got+1e-9 < milpCard {
+				t.Errorf("%s avg card %v beat the optimum %v", row[0], got, milpCard)
+			}
+		}
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return v
+}
+
+func TestE7AndE8Ablations(t *testing.T) {
+	tab7 := mustTable(t, func() (*Table, error) { return E7BigM(17) })
+	if !strings.Contains(cell(t, tab7, 0, 1), "10^") {
+		t.Errorf("theoretical M row = %v", tab7.Rows[0])
+	}
+	// All solved rows agree on the optimum.
+	base := cell(t, tab7, 1, 5)
+	for i := 2; i < len(tab7.Rows); i++ {
+		if cell(t, tab7, i, 5) != base {
+			t.Errorf("M choice changed the optimum: %v vs %v", cell(t, tab7, i, 5), base)
+		}
+	}
+	tab8 := mustTable(t, func() (*Table, error) { return E8Formulation(19) })
+	if len(tab8.Rows) != 4 {
+		t.Fatalf("E8 rows = %d", len(tab8.Rows))
+	}
+	// The reduced formulation has fewer variables and rows than literal.
+	litVars := mustFloat(t, tab8.Rows[0][2])
+	redVars := mustFloat(t, tab8.Rows[2][2])
+	if redVars >= litVars {
+		t.Errorf("reduced vars %v >= literal vars %v", redVars, litVars)
+	}
+}
+
+func TestE9SteadinessMatchesExpectations(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E9Steadiness() })
+	for _, row := range tab.Rows {
+		if row[3] != row[4] {
+			t.Errorf("%s: steady=%s expected=%s", row[0], row[3], row[4])
+		}
+	}
+}
+
+func TestE10EndToEndRecoversTruth(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E10EndToEnd(3, 23) })
+	for i := range tab.Rows {
+		if got := cellFloat(t, tab, i, 2); got != 1 {
+			t.Errorf("row %d: truth recovered = %v, want 1.0", i, got)
+		}
+	}
+}
+
+func TestPerturbIntAlwaysChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		v := int64(rng.Intn(2000))
+		if perturbInt(v, rng) == v {
+			t.Fatalf("perturbInt(%d) returned the input", v)
+		}
+	}
+}
+
+func TestE11ReliabilityShape(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E11Reliability(3, 31) })
+	for i := range tab.Rows {
+		// At least one minimal repair per doc, and reliable consensus
+		// values must overwhelmingly match ground truth.
+		if got := cellFloat(t, tab, i, 2); got < 1 {
+			t.Errorf("row %d: avg minimal repairs = %v", i, got)
+		}
+		if got := cellFloat(t, tab, i, 3); got <= 0 || got > 1 {
+			t.Errorf("row %d: reliable fraction = %v", i, got)
+		}
+		if got := cellFloat(t, tab, i, 4); got < 0.9 {
+			t.Errorf("row %d: reliable & correct = %v, want >= 0.9", i, got)
+		}
+	}
+}
+
+func TestE12AutoAcceptSavesDecisions(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E12ReliabilityGuidedValidation(3, 37) })
+	if len(tab.Rows)%2 != 0 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		plain := cellFloat(t, tab, i, 2)
+		auto := cellFloat(t, tab, i+1, 2)
+		if auto > plain {
+			t.Errorf("errors=%s: auto-accept examined %v > plain %v", cell(t, tab, i, 0), auto, plain)
+		}
+	}
+}
+
+func TestE13DepthImprovesDiagnosability(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return E13ErrorDepth(5, 71) })
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Top-level (drv) errors participate in more constraints than leaves,
+	// so they admit at most as many minimal repairs on average.
+	leafRepairs := cellFloat(t, tab, 0, 3)
+	drvRepairs := cellFloat(t, tab, 2, 3)
+	if drvRepairs > leafRepairs {
+		t.Errorf("drv repairs %v > leaf repairs %v", drvRepairs, leafRepairs)
+	}
+	for i := range tab.Rows {
+		if got := cellFloat(t, tab, i, 5); got != 1 {
+			t.Errorf("row %d: truth recovered = %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"dart/internal/aggrcons"
+	"dart/internal/core"
+	"dart/internal/relational"
+	"dart/internal/runningex"
+	"dart/internal/scenario"
+	"dart/internal/validate"
+)
+
+// constraintsRE returns the cash-budget constraints from the parsed
+// scenario metadata (panicking on fixture breakage, which tests rule out).
+func constraintsRE() []*aggrcons.Constraint {
+	md, err := scenario.CashBudget()
+	if err != nil {
+		panic(err)
+	}
+	return md.Constraints()
+}
+
+// runningAcquired returns the Fig. 3 acquired instance.
+func runningAcquired() *relational.Database { return runningex.AcquiredDatabase() }
+
+// runValidation drives one oracle-supervised validation loop.
+func runValidation(db, truth *relational.Database, acs []*aggrcons.Constraint) (*validate.Outcome, error) {
+	s := &validate.Session{
+		DB:          db,
+		Constraints: acs,
+		Solver:      &core.MILPSolver{},
+		Operator:    &validate.OracleOperator{Truth: truth},
+	}
+	return s.Run()
+}

@@ -1,0 +1,257 @@
+// Package htmlx implements the HTML substrate of DART's extraction path: a
+// tolerant tokenizer for the HTML subset the acquisition module produces,
+// and a table model that expands rowspan/colspan cells into a rectangular
+// grid. Handling tables with "variable" structure — cells spanning multiple
+// rows and columns with no pre-determined scheme — is one of the paper's
+// claimed novelties (Section 1, contribution 1), exercised here by the
+// multi-row Year cells of Fig. 1.
+package htmlx
+
+import (
+	"strings"
+)
+
+// TokenKind classifies tokens.
+type TokenKind int
+
+const (
+	// TokenText is character data between tags (entity-decoded).
+	TokenText TokenKind = iota
+	// TokenStartTag is an opening tag (possibly self-closing).
+	TokenStartTag
+	// TokenEndTag is a closing tag.
+	TokenEndTag
+)
+
+// Token is one lexical unit of an HTML document.
+type Token struct {
+	Kind        TokenKind
+	Name        string // tag name, lower-cased (start/end tags)
+	Text        string // character data (text tokens)
+	Attrs       map[string]string
+	SelfClosing bool
+}
+
+// Tokenize splits HTML source into tokens. It is deliberately tolerant:
+// unknown constructs are skipped, attributes may be unquoted, comments and
+// doctypes are dropped. Script and style elements are skipped entirely.
+func Tokenize(src string) []Token {
+	var toks []Token
+	i, n := 0, len(src)
+	var text strings.Builder
+	flushText := func() {
+		if text.Len() > 0 {
+			toks = append(toks, Token{Kind: TokenText, Text: DecodeEntities(text.String())})
+			text.Reset()
+		}
+	}
+	for i < n {
+		c := src[i]
+		if c != '<' {
+			text.WriteByte(c)
+			i++
+			continue
+		}
+		// Comment?
+		if strings.HasPrefix(src[i:], "<!--") {
+			flushText()
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		// Doctype or other declaration.
+		if strings.HasPrefix(src[i:], "<!") || strings.HasPrefix(src[i:], "<?") {
+			flushText()
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				break
+			}
+			i += end + 1
+			continue
+		}
+		// Tag.
+		end := strings.IndexByte(src[i:], '>')
+		if end < 0 {
+			// Trailing junk: treat as text.
+			text.WriteString(src[i:])
+			break
+		}
+		raw := src[i+1 : i+end]
+		i += end + 1
+		flushText()
+		tok, ok := parseTag(raw)
+		if !ok {
+			continue
+		}
+		toks = append(toks, tok)
+		// Skip raw content of script/style.
+		if tok.Kind == TokenStartTag && !tok.SelfClosing && (tok.Name == "script" || tok.Name == "style") {
+			closer := "</" + tok.Name
+			idx := strings.Index(strings.ToLower(src[i:]), closer)
+			if idx < 0 {
+				break
+			}
+			i += idx
+		}
+	}
+	flushText()
+	return toks
+}
+
+// parseTag parses the inside of <...>.
+func parseTag(raw string) (Token, bool) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return Token{}, false
+	}
+	end := false
+	if raw[0] == '/' {
+		end = true
+		raw = strings.TrimSpace(raw[1:])
+	}
+	selfClosing := false
+	if strings.HasSuffix(raw, "/") {
+		selfClosing = true
+		raw = strings.TrimSpace(raw[:len(raw)-1])
+	}
+	// Tag name.
+	j := 0
+	for j < len(raw) && !isSpace(raw[j]) {
+		j++
+	}
+	name := strings.ToLower(raw[:j])
+	if name == "" {
+		return Token{}, false
+	}
+	if end {
+		return Token{Kind: TokenEndTag, Name: name}, true
+	}
+	tok := Token{Kind: TokenStartTag, Name: name, SelfClosing: selfClosing, Attrs: map[string]string{}}
+	// Attributes.
+	k := j
+	for k < len(raw) {
+		for k < len(raw) && isSpace(raw[k]) {
+			k++
+		}
+		if k >= len(raw) {
+			break
+		}
+		start := k
+		for k < len(raw) && raw[k] != '=' && !isSpace(raw[k]) {
+			k++
+		}
+		attr := strings.ToLower(raw[start:k])
+		val := ""
+		for k < len(raw) && isSpace(raw[k]) {
+			k++
+		}
+		if k < len(raw) && raw[k] == '=' {
+			k++
+			for k < len(raw) && isSpace(raw[k]) {
+				k++
+			}
+			if k < len(raw) && (raw[k] == '"' || raw[k] == '\'') {
+				q := raw[k]
+				k++
+				vs := k
+				for k < len(raw) && raw[k] != q {
+					k++
+				}
+				val = raw[vs:k]
+				if k < len(raw) {
+					k++
+				}
+			} else {
+				vs := k
+				for k < len(raw) && !isSpace(raw[k]) {
+					k++
+				}
+				val = raw[vs:k]
+			}
+		}
+		if attr != "" {
+			tok.Attrs[attr] = DecodeEntities(val)
+		}
+	}
+	return tok, true
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// entityTable maps the named entities the converter emits.
+var entityTable = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'", "nbsp": " ",
+}
+
+// DecodeEntities resolves named and numeric character references.
+func DecodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		ent := s[i+1 : i+semi]
+		if rep, ok := entityTable[ent]; ok {
+			b.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		if strings.HasPrefix(ent, "#") {
+			num := ent[1:]
+			base := 10
+			if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+				base = 16
+				num = num[1:]
+			}
+			var r rune
+			ok := len(num) > 0
+			for _, d := range num {
+				var v rune
+				switch {
+				case d >= '0' && d <= '9':
+					v = d - '0'
+				case base == 16 && d >= 'a' && d <= 'f':
+					v = d - 'a' + 10
+				case base == 16 && d >= 'A' && d <= 'F':
+					v = d - 'A' + 10
+				default:
+					ok = false
+				}
+				if !ok {
+					break
+				}
+				r = r*rune(base) + v
+			}
+			if ok && r > 0 {
+				b.WriteRune(r)
+				i += semi + 1
+				continue
+			}
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+// EscapeText escapes character data for embedding in HTML.
+func EscapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

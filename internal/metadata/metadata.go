@@ -1,0 +1,394 @@
+// Package metadata models the acquisition designer's metadata (Section 2,
+// Section 6): domain descriptions, hierarchical relationships, row
+// patterns, the database scheme with its measure attributes, the scheme
+// mapping and classification information for the database generator, and
+// the steady aggregate constraints — together with a text format so a
+// designer can author all of it in one file.
+package metadata
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dart/internal/aggrcons"
+	"dart/internal/consparse"
+	"dart/internal/dbgen"
+	"dart/internal/lexicon"
+	"dart/internal/relational"
+	"dart/internal/wrapper"
+)
+
+// Metadata is the complete designer configuration for one document class.
+type Metadata struct {
+	Title     string
+	Domains   map[string]*lexicon.Domain
+	Hierarchy *lexicon.Hierarchy
+	Patterns  []*wrapper.RowPattern
+	TNorm     lexicon.TNorm
+	MinScore  float64
+
+	Schema          *relational.Schema
+	Measures        []string
+	CellOf          map[string]string
+	Classifications map[string]*dbgen.Classification
+
+	Catalog *consparse.Catalog
+}
+
+// NewWrapper builds the extraction wrapper configured by the metadata.
+func (m *Metadata) NewWrapper() *wrapper.Wrapper {
+	return &wrapper.Wrapper{
+		Patterns:  m.Patterns,
+		Hierarchy: m.Hierarchy,
+		TNorm:     m.TNorm,
+		MinScore:  m.MinScore,
+	}
+}
+
+// NewGenerator builds the database generator configured by the metadata.
+func (m *Metadata) NewGenerator() *dbgen.Generator {
+	return &dbgen.Generator{
+		Schema:       m.Schema,
+		Measures:     m.Measures,
+		CellOf:       m.CellOf,
+		ClassifiedBy: m.Classifications,
+	}
+}
+
+// Constraints returns the steady aggregate constraints of the metadata.
+func (m *Metadata) Constraints() []*aggrcons.Constraint {
+	if m.Catalog == nil {
+		return nil
+	}
+	return m.Catalog.Constraints
+}
+
+// Validate cross-checks the assembled metadata.
+func (m *Metadata) Validate() error {
+	if m.Schema == nil {
+		return fmt.Errorf("metadata: no relation declared")
+	}
+	if len(m.Patterns) == 0 {
+		return fmt.Errorf("metadata: no row patterns declared")
+	}
+	for _, p := range m.Patterns {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	g := m.NewGenerator()
+	return g.Validate()
+}
+
+// Parse reads the metadata text format. See the package tests and the
+// example metadata files for the grammar by example; the format is
+// line-oriented with three block constructs (pattern, classify,
+// constraints ... end).
+func Parse(src string) (*Metadata, error) {
+	m := &Metadata{
+		Domains:         map[string]*lexicon.Domain{},
+		Hierarchy:       lexicon.NewHierarchy(),
+		MinScore:        0.5,
+		CellOf:          map[string]string{},
+		Classifications: map[string]*dbgen.Classification{},
+	}
+	lines := strings.Split(src, "\n")
+	var curPattern *wrapper.RowPattern
+	var curClassify *dbgen.Classification
+
+	for ln := 0; ln < len(lines); ln++ {
+		line := stripComment(lines[ln])
+		if line == "" {
+			continue
+		}
+		word, rest := splitWord(line)
+		// Block-opening keywords may carry the colon on the keyword itself
+		// ("constraints:").
+		switch strings.TrimSuffix(strings.ToLower(word), ":") {
+		case "title":
+			m.Title = rest
+		case "domain":
+			name, items, err := parseDomainLine(rest)
+			if err != nil {
+				return nil, lineErr(ln, err)
+			}
+			d, ok := m.Domains[name]
+			if !ok {
+				d = lexicon.NewDomain(name)
+				m.Domains[name] = d
+			}
+			for _, it := range items {
+				d.Add(it)
+			}
+		case "hierarchy":
+			child, parent, err := parseHierarchyLine(rest)
+			if err != nil {
+				return nil, lineErr(ln, err)
+			}
+			m.Hierarchy.AddSpecialization(child, parent)
+		case "pattern":
+			name := strings.TrimSuffix(rest, ":")
+			if name == "" {
+				return nil, lineErr(ln, fmt.Errorf("pattern needs a name"))
+			}
+			curPattern = &wrapper.RowPattern{Name: name}
+			m.Patterns = append(m.Patterns, curPattern)
+			curClassify = nil
+		case "cell":
+			if curPattern == nil {
+				return nil, lineErr(ln, fmt.Errorf("cell outside a pattern block"))
+			}
+			pc, err := m.parseCellLine(rest, curPattern)
+			if err != nil {
+				return nil, lineErr(ln, err)
+			}
+			curPattern.Cells = append(curPattern.Cells, pc)
+		case "tnorm":
+			switch strings.ToLower(rest) {
+			case "min":
+				m.TNorm = lexicon.TNormMin
+			case "product":
+				m.TNorm = lexicon.TNormProduct
+			case "lukasiewicz":
+				m.TNorm = lexicon.TNormLukasiewicz
+			default:
+				return nil, lineErr(ln, fmt.Errorf("unknown t-norm %q", rest))
+			}
+		case "minscore":
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, lineErr(ln, fmt.Errorf("bad minscore %q", rest))
+			}
+			m.MinScore = v
+		case "relation":
+			s, err := parseRelationLine(rest)
+			if err != nil {
+				return nil, lineErr(ln, err)
+			}
+			if m.Schema != nil {
+				return nil, lineErr(ln, fmt.Errorf("duplicate relation declaration"))
+			}
+			m.Schema = s
+		case "measure":
+			parts := strings.SplitN(rest, ".", 2)
+			if len(parts) != 2 {
+				return nil, lineErr(ln, fmt.Errorf("measure needs Relation.Attribute, got %q", rest))
+			}
+			m.Measures = append(m.Measures, strings.TrimSpace(parts[1]))
+		case "map":
+			// map ATTR from cell HEADLINE
+			f := strings.Fields(rest)
+			if len(f) != 4 || !strings.EqualFold(f[1], "from") || !strings.EqualFold(f[2], "cell") {
+				return nil, lineErr(ln, fmt.Errorf("map syntax: map ATTR from cell HEADLINE"))
+			}
+			m.CellOf[f[0]] = f[3]
+			curPattern, curClassify = nil, nil
+		case "classify":
+			// classify ATTR from HEADLINE:
+			f := strings.Fields(strings.TrimSuffix(rest, ":"))
+			if len(f) != 3 || !strings.EqualFold(f[1], "from") {
+				return nil, lineErr(ln, fmt.Errorf("classify syntax: classify ATTR from HEADLINE:"))
+			}
+			curClassify = &dbgen.Classification{FromHeadline: f[2], Classes: map[string]string{}}
+			m.Classifications[f[0]] = curClassify
+			curPattern = nil
+		case "constraints":
+			var block []string
+			ln++
+			for ; ln < len(lines); ln++ {
+				if strings.TrimSpace(lines[ln]) == "end" {
+					break
+				}
+				block = append(block, lines[ln])
+			}
+			if ln >= len(lines) {
+				return nil, fmt.Errorf("metadata: unterminated constraints block")
+			}
+			cat, err := consparse.Parse(strings.Join(block, "\n"))
+			if err != nil {
+				return nil, err
+			}
+			m.Catalog = cat
+		default:
+			// Inside a classify block, lines are 'ITEM' -> 'CLASS'.
+			if curClassify != nil && strings.Contains(line, "->") {
+				item, class, err := parseArrowLine(line)
+				if err != nil {
+					return nil, lineErr(ln, err)
+				}
+				curClassify.Classes[lexicon.Normalize(item)] = class
+				continue
+			}
+			return nil, lineErr(ln, fmt.Errorf("unknown directive %q", word))
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func lineErr(ln int, err error) error {
+	return fmt.Errorf("metadata: line %d: %w", ln+1, err)
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		// Keep '#' inside quotes.
+		inQuote := false
+		for j := 0; j < len(line); j++ {
+			if line[j] == '\'' {
+				inQuote = !inQuote
+			}
+			if line[j] == '#' && !inQuote {
+				line = line[:j]
+				break
+			}
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+func splitWord(line string) (string, string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return line, ""
+	}
+	return line[:i], strings.TrimSpace(line[i+1:])
+}
+
+// parseDomainLine parses: NAME: 'item', 'item', ...
+func parseDomainLine(rest string) (string, []string, error) {
+	i := strings.IndexByte(rest, ':')
+	if i < 0 {
+		return "", nil, fmt.Errorf("domain syntax: domain NAME: 'item', ...")
+	}
+	name := strings.TrimSpace(rest[:i])
+	if name == "" {
+		return "", nil, fmt.Errorf("domain needs a name")
+	}
+	items, err := parseQuotedList(rest[i+1:])
+	if err != nil {
+		return "", nil, err
+	}
+	return name, items, nil
+}
+
+// parseHierarchyLine parses: 'child' -> 'parent'.
+func parseHierarchyLine(rest string) (string, string, error) {
+	return parseArrowLine(rest)
+}
+
+func parseArrowLine(line string) (string, string, error) {
+	parts := strings.SplitN(line, "->", 2)
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf("expected 'a' -> 'b', got %q", line)
+	}
+	a, err := parseQuoted(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return "", "", err
+	}
+	b, err := parseQuoted(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return "", "", err
+	}
+	return a, b, nil
+}
+
+func parseQuoted(s string) (string, error) {
+	if len(s) < 2 || s[0] != '\'' || s[len(s)-1] != '\'' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	return s[1 : len(s)-1], nil
+}
+
+func parseQuotedList(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		q, err := parseQuoted(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty item list")
+	}
+	return out, nil
+}
+
+// parseCellLine parses: HEADLINE: Integer | Real | String | domain NAME
+// [specializes HEADLINE]
+func (m *Metadata) parseCellLine(rest string, p *wrapper.RowPattern) (wrapper.PatternCell, error) {
+	pc := wrapper.PatternCell{SpecializationOf: -1}
+	i := strings.IndexByte(rest, ':')
+	if i < 0 {
+		return pc, fmt.Errorf("cell syntax: cell HEADLINE: KIND [specializes HEADLINE]")
+	}
+	pc.Headline = strings.TrimSpace(rest[:i])
+	spec := ""
+	kind := strings.TrimSpace(rest[i+1:])
+	if j := strings.Index(strings.ToLower(kind), "specializes"); j >= 0 {
+		spec = strings.TrimSpace(kind[j+len("specializes"):])
+		kind = strings.TrimSpace(kind[:j])
+	}
+	f := strings.Fields(kind)
+	switch {
+	case len(f) == 1 && strings.EqualFold(f[0], "integer"):
+		pc.Kind = wrapper.KindInteger
+	case len(f) == 1 && strings.EqualFold(f[0], "real"):
+		pc.Kind = wrapper.KindReal
+	case len(f) == 1 && strings.EqualFold(f[0], "string"):
+		pc.Kind = wrapper.KindString
+	case len(f) == 2 && strings.EqualFold(f[0], "domain"):
+		d, ok := m.Domains[f[1]]
+		if !ok {
+			return pc, fmt.Errorf("unknown domain %q", f[1])
+		}
+		pc.Kind = wrapper.KindDomain
+		pc.Domain = d
+	default:
+		return pc, fmt.Errorf("unknown cell kind %q", kind)
+	}
+	if spec != "" {
+		found := -1
+		for idx, c := range p.Cells {
+			if c.Headline == spec {
+				found = idx
+			}
+		}
+		if found < 0 {
+			return pc, fmt.Errorf("specializes references unknown earlier cell %q", spec)
+		}
+		pc.SpecializationOf = found
+	}
+	return pc, nil
+}
+
+// parseRelationLine parses: NAME(Attr: Z, Attr: S, ...)
+func parseRelationLine(rest string) (*relational.Schema, error) {
+	open := strings.IndexByte(rest, '(')
+	close := strings.LastIndexByte(rest, ')')
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("relation syntax: relation NAME(Attr: Z, ...)")
+	}
+	name := strings.TrimSpace(rest[:open])
+	var attrs []relational.Attribute
+	for _, part := range strings.Split(rest[open+1:close], ",") {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("attribute syntax: Name: Domain, got %q", part)
+		}
+		dom, err := relational.ParseDomain(kv[1])
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, relational.Attribute{Name: strings.TrimSpace(kv[0]), Domain: dom})
+	}
+	return relational.NewSchema(name, attrs...)
+}

@@ -1,0 +1,177 @@
+package metadata_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dart/internal/aggrcons"
+	"dart/internal/docgen"
+	"dart/internal/lexicon"
+	"dart/internal/metadata"
+	"dart/internal/runningex"
+	"dart/internal/scenario"
+)
+
+func TestParseCashBudgetScenario(t *testing.T) {
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Title != "Cash budget acquisition" {
+		t.Errorf("title = %q", md.Title)
+	}
+	if len(md.Domains) != 2 {
+		t.Errorf("domains = %d", len(md.Domains))
+	}
+	if got := len(md.Domains["Subsection"].Items()); got != 10 {
+		t.Errorf("subsection items = %d", got)
+	}
+	if !md.Hierarchy.IsSpecializationOf("cash sales", "Receipts") {
+		t.Error("hierarchy missing")
+	}
+	if len(md.Patterns) != 1 || len(md.Patterns[0].Cells) != 4 {
+		t.Fatalf("patterns = %+v", md.Patterns)
+	}
+	if md.Patterns[0].Cells[2].SpecializationOf != 1 {
+		t.Errorf("Subsection cell should specialize cell 1, got %d", md.Patterns[0].Cells[2].SpecializationOf)
+	}
+	if md.TNorm != lexicon.TNormMin || md.MinScore != 0.5 {
+		t.Errorf("tnorm/minscore = %v/%v", md.TNorm, md.MinScore)
+	}
+	if md.Schema.String() != runningex.Schema().String() {
+		t.Errorf("schema = %s", md.Schema)
+	}
+	if len(md.Measures) != 1 || md.Measures[0] != "Value" {
+		t.Errorf("measures = %v", md.Measures)
+	}
+	if md.CellOf["Year"] != "Year" || md.CellOf["Value"] != "Value" {
+		t.Errorf("cellOf = %v", md.CellOf)
+	}
+	cl := md.Classifications["Type"]
+	if cl == nil || cl.FromHeadline != "Subsection" {
+		t.Fatalf("classification = %+v", cl)
+	}
+	if c, ok := cl.Classify("Total Cash Receipts"); !ok || c != "aggr" {
+		t.Errorf("Classify(total cash receipts) = %q, %v", c, ok)
+	}
+	if len(md.Constraints()) != 3 {
+		t.Errorf("constraints = %d", len(md.Constraints()))
+	}
+}
+
+func TestParsedConstraintsEquivalentToFixtures(t *testing.T) {
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := runningex.AcquiredDatabase()
+	viols, err := aggrcons.Check(db, md.Constraints(), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 2 {
+		t.Errorf("violations = %d, want 2", len(viols))
+	}
+	for _, k := range md.Constraints() {
+		if !k.IsSteady(db) {
+			t.Errorf("%s not steady", k.Name)
+		}
+	}
+}
+
+func TestParseCatalogScenario(t *testing.T) {
+	md, err := scenario.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Schema.Name() != "Orders" {
+		t.Errorf("schema = %s", md.Schema)
+	}
+	if len(md.Constraints()) != 1 {
+		t.Errorf("constraints = %d", len(md.Constraints()))
+	}
+	db := docgen.OrdersDatabase(docgen.RandomOrders(newRand(), 5))
+	viols, err := aggrcons.Check(db, md.Constraints(), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 0 {
+		t.Errorf("consistent orders reported violations: %v", viols)
+	}
+}
+
+func TestMetadataParseErrors(t *testing.T) {
+	base := "relation R(A: Z)\nmeasure R.A\nmap A from cell A\npattern p:\n  cell A: Integer\n"
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown directive", "bogus x\n" + base, "unknown directive"},
+		{"bad domain", "domain : 'a'\n" + base, "domain"},
+		{"bad unquoted domain item", "domain D: a, b\n" + base, "quoted"},
+		{"bad hierarchy", "hierarchy 'a' 'b'\n" + base, "expected 'a' -> 'b'"},
+		{"cell outside pattern", "cell X: Integer\n" + base, "outside a pattern"},
+		{"unknown domain ref", base + "pattern q:\n  cell B: domain Nope\n", "unknown domain"},
+		{"bad cell kind", base + "pattern q:\n  cell B: Complex\n", "unknown cell kind"},
+		{"unknown specializes", base + "pattern q:\n  cell B: Integer specializes Zed\n", "unknown earlier cell"},
+		{"bad tnorm", "tnorm banana\n" + base, "unknown t-norm"},
+		{"bad minscore", "minscore 7\n" + base, "bad minscore"},
+		{"dup relation", base + "relation S(B: Z)\n", "duplicate relation"},
+		{"bad measure", "measure R\n" + base, "Relation.Attribute"},
+		{"bad map", "map A cell B\n" + base, "map syntax"},
+		{"bad classify", "classify A of B:\n" + base, "classify syntax"},
+		{"unterminated constraints", base + "constraints:\nfunc f() := SELECT sum(A) FROM R\n", "unterminated"},
+		{"bad relation syntax", "relation R A: Z\npattern p:\n  cell A: Integer\nmap A from cell A\n", "relation syntax"},
+		{"no relation", "pattern p:\n  cell A: Integer\n", "no relation"},
+		{"no pattern", "relation R(A: Z)\nmap A from cell A\n", "no row patterns"},
+		{"attr no source", "relation R(A: Z, B: Z)\nmap A from cell A\npattern p:\n  cell A: Integer\n", "no source"},
+	}
+	for _, tc := range cases {
+		_, err := metadata.Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: want error containing %q, got nil", tc.name, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestMetadataCommentsAndQuotedHash(t *testing.T) {
+	src := `
+# full line comment
+relation R(A: Z, Note: S)  # trailing comment
+measure R.A
+domain D: 'item # with hash', 'other'
+pattern p:
+  cell A: Integer
+  cell Note: domain D
+map A from cell A
+map Note from cell Note
+`
+	md, err := metadata.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !md.Domains["D"].Contains("item # with hash") {
+		t.Errorf("quoted hash mishandled: %v", md.Domains["D"].Items())
+	}
+}
+
+func TestMetadataTNormVariants(t *testing.T) {
+	for name, want := range map[string]lexicon.TNorm{
+		"min": lexicon.TNormMin, "product": lexicon.TNormProduct, "lukasiewicz": lexicon.TNormLukasiewicz,
+	} {
+		src := "tnorm " + name + "\nrelation R(A: Z)\nmap A from cell A\npattern p:\n  cell A: Integer\n"
+		md, err := metadata.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if md.TNorm != want {
+			t.Errorf("%s parsed as %v", name, md.TNorm)
+		}
+	}
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

@@ -1,0 +1,330 @@
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// MILPOptions tunes the branch-and-bound search. The zero value selects
+// defaults.
+type MILPOptions struct {
+	// Simplex options used for every LP relaxation.
+	Simplex SimplexOptions
+	// MaxNodes bounds the number of explored nodes; 0 means 200000.
+	MaxNodes int
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// DisableRounding turns off the LP-rounding incumbent heuristic.
+	DisableRounding bool
+}
+
+func (o MILPOptions) withDefaults() MILPOptions {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// MILPResult is the outcome of a mixed-integer solve.
+type MILPResult struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Iterations is the total simplex pivot count across all nodes.
+	Iterations int
+}
+
+// bbNode is one branch-and-bound subproblem: the model with tightened
+// variable bounds, ordered by its parent's LP bound.
+type bbNode struct {
+	lb, ub []float64
+	bound  float64
+	depth  int
+}
+
+type nodeQueue []*bbNode
+
+func (q nodeQueue) Len() int      { return len(q) }
+func (q nodeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	return q[i].depth > q[j].depth // deeper first among equal bounds
+}
+func (q *nodeQueue) Push(x any) { *q = append(*q, x.(*bbNode)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Solve minimizes the model. Pure LPs are dispatched straight to the
+// simplex; models with integer variables go through branch and bound.
+func Solve(m *Model, opt MILPOptions) (*MILPResult, error) {
+	opt = opt.withDefaults()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !m.HasIntegers() {
+		lp, err := SolveLP(m, opt.Simplex)
+		if err != nil {
+			return nil, err
+		}
+		return &MILPResult{
+			Status: lp.Status, Objective: lp.Objective, X: lp.X,
+			Nodes: 1, Iterations: lp.Iterations,
+		}, nil
+	}
+	return branchAndBound(m, opt)
+}
+
+// objIsIntegral reports whether every feasible integral assignment yields an
+// integral objective: all nonzero objective coefficients are integers and
+// sit on integer/binary variables.
+func objIsIntegral(m *Model) bool {
+	for j, c := range m.obj {
+		if c == 0 {
+			continue
+		}
+		if m.vtype[j] == Continuous || c != math.Trunc(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
+	nv := m.NumVars()
+	integral := objIsIntegral(m)
+
+	rootLB := make([]float64, nv)
+	rootUB := make([]float64, nv)
+	copy(rootLB, m.lb)
+	copy(rootUB, m.ub)
+	// Tighten integer variable bounds to integral values up front.
+	for j := 0; j < nv; j++ {
+		if m.vtype[j] != Continuous {
+			if !math.IsInf(rootLB[j], -1) {
+				rootLB[j] = math.Ceil(rootLB[j] - opt.IntTol)
+			}
+			if !math.IsInf(rootUB[j], 1) {
+				rootUB[j] = math.Floor(rootUB[j] + opt.IntTol)
+			}
+		}
+	}
+
+	res := &MILPResult{Status: StatusInfeasible}
+	incumbent := math.Inf(1)
+	var incumbentX []float64
+
+	strengthen := func(b float64) float64 {
+		if integral {
+			return math.Ceil(b - 1e-6)
+		}
+		return b
+	}
+
+	queue := &nodeQueue{{lb: rootLB, ub: rootUB, bound: math.Inf(-1)}}
+	heap.Init(queue)
+
+	for queue.Len() > 0 {
+		if res.Nodes >= opt.MaxNodes {
+			res.Status = StatusIterLimit
+			break
+		}
+		node := heap.Pop(queue).(*bbNode)
+		if strengthen(node.bound) >= incumbent-1e-9 {
+			continue // pruned by bound discovered after the node was queued
+		}
+		res.Nodes++
+		lp, err := solveLPWithBounds(m, opt.Simplex, node.lb, node.ub)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations += lp.Iterations
+		switch lp.Status {
+		case StatusInfeasible:
+			continue
+		case StatusUnbounded:
+			if node.depth == 0 && math.IsInf(incumbent, 1) {
+				// The relaxation is unbounded at the root: report it.
+				return &MILPResult{Status: StatusUnbounded, Nodes: res.Nodes, Iterations: res.Iterations}, nil
+			}
+			continue
+		case StatusIterLimit:
+			res.Status = StatusIterLimit
+			continue
+		}
+		bound := strengthen(lp.Objective)
+		if bound >= incumbent-1e-9 {
+			continue
+		}
+		frac := mostFractional(m, lp.X, opt.IntTol)
+		if frac < 0 {
+			// Integral within tolerance. Guard against the big-M pathology:
+			// an indicator variable can sit at |y|/M below the tolerance,
+			// making the rounded point infeasible. Accept the incumbent only
+			// when its rounding verifies; otherwise branch on the largest
+			// sub-tolerance deviation (an exact split: its floor and ceil
+			// differ, so both children genuinely restrict the variable).
+			cand := roundIntegers(m, lp.X, opt.IntTol)
+			if CheckFeasible(m, cand, opt.IntTol*10) == nil {
+				if lp.Objective < incumbent-1e-9 {
+					incumbent = lp.Objective
+					incumbentX = cand
+				}
+				continue
+			}
+			frac = mostFractional(m, lp.X, 1e-15)
+			if frac < 0 {
+				// Exactly integral yet rounding-infeasible cannot happen;
+				// treat defensively as a numerical dead end.
+				continue
+			}
+		}
+		if !opt.DisableRounding && math.IsInf(incumbent, 1) && node.depth == 0 {
+			if obj, x, ok := roundingHeuristic(m, opt, lp.X, node.lb, node.ub); ok && obj < incumbent-1e-9 {
+				incumbent = obj
+				incumbentX = x
+			}
+		}
+		// Branch on the fractional variable.
+		xv := lp.X[frac]
+		down := &bbNode{lb: node.lb, ub: cloneWith(node.ub, frac, math.Floor(xv)), bound: lp.Objective, depth: node.depth + 1}
+		up := &bbNode{lb: cloneWith(node.lb, frac, math.Ceil(xv)), ub: node.ub, bound: lp.Objective, depth: node.depth + 1}
+		if down.ub[frac] >= down.lb[frac]-1e-12 {
+			heap.Push(queue, down)
+		}
+		if up.lb[frac] <= up.ub[frac]+1e-12 {
+			heap.Push(queue, up)
+		}
+	}
+
+	if incumbentX != nil {
+		if res.Status != StatusIterLimit {
+			res.Status = StatusOptimal
+		}
+		res.Objective = incumbent
+		res.X = incumbentX
+	}
+	return res, nil
+}
+
+// cloneWith copies bounds and sets index i to v.
+func cloneWith(b []float64, i int, v float64) []float64 {
+	c := make([]float64, len(b))
+	copy(c, b)
+	c[i] = v
+	return c
+}
+
+// mostFractional returns the integer variable whose LP value is farthest
+// from integral (closest to x.5), or -1 when all are integral within tol.
+func mostFractional(m *Model, x []float64, tol float64) int {
+	best, bestDist := -1, tol
+	for j := range x {
+		if m.vtype[j] == Continuous {
+			continue
+		}
+		if d := math.Abs(x[j] - math.Round(x[j])); d > bestDist {
+			best, bestDist = j, d
+		}
+	}
+	return best
+}
+
+// roundIntegers snaps near-integral integer variables exactly.
+func roundIntegers(m *Model, x []float64, tol float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for j := range out {
+		if m.vtype[j] != Continuous {
+			r := math.Round(out[j])
+			if math.Abs(out[j]-r) <= tol*10 {
+				out[j] = r
+			}
+		}
+	}
+	return out
+}
+
+// roundingHeuristic fixes every integer variable to the rounding of its LP
+// value (clamped into the node bounds) and re-solves the continuous
+// remainder, producing an early incumbent when the fixing stays feasible.
+func roundingHeuristic(m *Model, opt MILPOptions, x []float64, lb, ub []float64) (float64, []float64, bool) {
+	hlb := make([]float64, len(lb))
+	hub := make([]float64, len(ub))
+	copy(hlb, lb)
+	copy(hub, ub)
+	for j := range x {
+		if m.vtype[j] == Continuous {
+			continue
+		}
+		v := math.Round(x[j])
+		// Round indicator-style variables up rather than to nearest: for
+		// big-M formulations the LP drives them artificially low.
+		if x[j] > opt.IntTol*100 && v < x[j] {
+			v = math.Ceil(x[j] - opt.IntTol)
+		}
+		v = math.Max(v, hlb[j])
+		v = math.Min(v, hub[j])
+		hlb[j], hub[j] = v, v
+	}
+	lp, err := solveLPWithBounds(m, opt.Simplex, hlb, hub)
+	if err != nil || lp.Status != StatusOptimal {
+		return 0, nil, false
+	}
+	return lp.Objective, roundIntegers(m, lp.X, opt.IntTol), true
+}
+
+// CheckFeasible verifies that x satisfies every constraint and bound of the
+// model within tol, returning a descriptive error for the first violation.
+// It is used by tests and by the repair module as a safety net.
+func CheckFeasible(m *Model, x []float64, tol float64) error {
+	if len(x) != m.NumVars() {
+		return fmt.Errorf("milp: solution has %d values, model has %d variables", len(x), m.NumVars())
+	}
+	for j := range x {
+		if x[j] < m.lb[j]-tol || x[j] > m.ub[j]+tol {
+			return fmt.Errorf("milp: variable %s = %v outside bounds [%v, %v]",
+				m.names[j], x[j], m.lb[j], m.ub[j])
+		}
+		if m.vtype[j] != Continuous {
+			if math.Abs(x[j]-math.Round(x[j])) > tol {
+				return fmt.Errorf("milp: variable %s = %v is not integral", m.names[j], x[j])
+			}
+		}
+	}
+	for _, r := range m.rows {
+		act := 0.0
+		for _, t := range r.Terms {
+			act += t.Coeff * x[t.Var]
+		}
+		scale := 1.0 + math.Abs(r.RHS)
+		switch r.Rel {
+		case LE:
+			if act > r.RHS+tol*scale {
+				return fmt.Errorf("milp: constraint %q violated: %v > %v", r.Name, act, r.RHS)
+			}
+		case GE:
+			if act < r.RHS-tol*scale {
+				return fmt.Errorf("milp: constraint %q violated: %v < %v", r.Name, act, r.RHS)
+			}
+		case EQ:
+			if math.Abs(act-r.RHS) > tol*scale {
+				return fmt.Errorf("milp: constraint %q violated: %v != %v", r.Name, act, r.RHS)
+			}
+		}
+	}
+	return nil
+}

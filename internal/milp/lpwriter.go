@@ -1,0 +1,128 @@
+package milp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteLP serializes the model in CPLEX LP format, so instances can be
+// inspected or cross-checked with external solvers. Variable names are
+// sanitized to the LP identifier alphabet; duplicate or empty names get a
+// positional suffix.
+func (m *Model) WriteLP(w io.Writer) error {
+	names := lpNames(m)
+	var b strings.Builder
+
+	b.WriteString("Minimize\n obj:")
+	wrote := false
+	for j, c := range m.obj {
+		if c == 0 {
+			continue
+		}
+		writeLPCoeff(&b, c, names[j], !wrote)
+		wrote = true
+	}
+	if !wrote {
+		b.WriteString(" 0 " + names[0])
+	}
+	b.WriteString("\nSubject To\n")
+	for i, r := range m.rows {
+		fmt.Fprintf(&b, " c%d:", i+1)
+		first := true
+		for _, t := range r.Terms {
+			writeLPCoeff(&b, t.Coeff, names[t.Var], first)
+			first = false
+		}
+		if first {
+			b.WriteString(" 0 " + names[0])
+		}
+		switch r.Rel {
+		case LE:
+			fmt.Fprintf(&b, " <= %g\n", r.RHS)
+		case GE:
+			fmt.Fprintf(&b, " >= %g\n", r.RHS)
+		default:
+			fmt.Fprintf(&b, " = %g\n", r.RHS)
+		}
+	}
+	b.WriteString("Bounds\n")
+	for j := range m.names {
+		lb, ub := m.lb[j], m.ub[j]
+		switch {
+		case math.IsInf(lb, -1) && math.IsInf(ub, 1):
+			fmt.Fprintf(&b, " %s free\n", names[j])
+		case math.IsInf(lb, -1):
+			fmt.Fprintf(&b, " -inf <= %s <= %g\n", names[j], ub)
+		case math.IsInf(ub, 1):
+			fmt.Fprintf(&b, " %s >= %g\n", names[j], lb)
+		default:
+			fmt.Fprintf(&b, " %g <= %s <= %g\n", lb, names[j], ub)
+		}
+	}
+	var generals, binaries []string
+	for j, vt := range m.vtype {
+		switch vt {
+		case Integer:
+			generals = append(generals, names[j])
+		case Binary:
+			binaries = append(binaries, names[j])
+		}
+	}
+	if len(generals) > 0 {
+		b.WriteString("Generals\n " + strings.Join(generals, " ") + "\n")
+	}
+	if len(binaries) > 0 {
+		b.WriteString("Binaries\n " + strings.Join(binaries, " ") + "\n")
+	}
+	b.WriteString("End\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeLPCoeff(b *strings.Builder, c float64, name string, first bool) {
+	switch {
+	case c == 1:
+		if first {
+			fmt.Fprintf(b, " %s", name)
+		} else {
+			fmt.Fprintf(b, " + %s", name)
+		}
+	case c == -1:
+		fmt.Fprintf(b, " - %s", name)
+	case c < 0:
+		fmt.Fprintf(b, " - %g %s", -c, name)
+	default:
+		if first {
+			fmt.Fprintf(b, " %g %s", c, name)
+		} else {
+			fmt.Fprintf(b, " + %g %s", c, name)
+		}
+	}
+}
+
+// lpNames sanitizes variable names to LP-safe identifiers, de-duplicating.
+func lpNames(m *Model) []string {
+	out := make([]string, len(m.names))
+	seen := map[string]bool{}
+	for j, n := range m.names {
+		clean := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+				return r
+			default:
+				return '_'
+			}
+		}, n)
+		if clean == "" || (clean[0] >= '0' && clean[0] <= '9') {
+			clean = "x" + clean
+		}
+		if seen[clean] {
+			clean = fmt.Sprintf("%s_%d", clean, j)
+		}
+		seen[clean] = true
+		out[j] = clean
+	}
+	return out
+}

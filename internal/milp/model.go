@@ -1,0 +1,268 @@
+// Package milp implements a self-contained mixed-integer linear programming
+// solver: linear models with per-variable bounds and integrality
+// requirements, a bounded-variable primal simplex method for the LP
+// relaxation, and a best-first branch-and-bound search for integer optima.
+//
+// The paper solves its repair MILP instances with the proprietary LINDO API;
+// this package is the open substitute. It is exact up to floating-point
+// tolerances and is deliberately dependency-free (stdlib only).
+package milp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// VarType describes the integrality requirement of a variable.
+type VarType int
+
+const (
+	// Continuous variables range over the reals within their bounds.
+	Continuous VarType = iota
+	// Integer variables must take integral values within their bounds.
+	Integer
+	// Binary variables are integer variables with implied bounds {0,1}.
+	Binary
+)
+
+// String returns a short name for the variable type.
+func (v VarType) String() string {
+	switch v {
+	case Continuous:
+		return "continuous"
+	case Integer:
+		return "integer"
+	case Binary:
+		return "binary"
+	default:
+		return fmt.Sprintf("VarType(%d)", int(v))
+	}
+}
+
+// Rel is the relational operator of a linear constraint.
+type Rel int
+
+const (
+	// LE constrains the row activity to be at most the right-hand side.
+	LE Rel = iota
+	// GE constrains the row activity to be at least the right-hand side.
+	GE
+	// EQ constrains the row activity to equal the right-hand side.
+	EQ
+)
+
+// String returns the operator symbol.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Var identifies a variable within a Model.
+type Var int
+
+// Term is one coefficient*variable summand of a linear expression.
+type Term struct {
+	Var   Var
+	Coeff float64
+}
+
+// Constraint is a linear constraint sum(terms) Rel RHS.
+type Constraint struct {
+	Name  string
+	Terms []Term
+	Rel   Rel
+	RHS   float64
+}
+
+// Model is a linear program with optional integrality requirements:
+//
+//	minimize  c'x
+//	subject to  each constraint row
+//	            lb <= x <= ub, x_i integral for integer/binary i
+//
+// Models are built incrementally with AddVar/AddConstraint and solved with
+// a Solver.
+type Model struct {
+	names []string
+	lb    []float64
+	ub    []float64
+	vtype []VarType
+	obj   []float64
+	rows  []Constraint
+}
+
+// NewModel returns an empty minimization model.
+func NewModel() *Model { return &Model{} }
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.names) }
+
+// NumConstraints returns the number of constraint rows.
+func (m *Model) NumConstraints() int { return len(m.rows) }
+
+// AddVar adds a variable with the given name, bounds, type and objective
+// coefficient, returning its identifier. Use math.Inf for free bounds.
+// Binary variables have their bounds intersected with [0,1].
+func (m *Model) AddVar(name string, lb, ub float64, vt VarType, obj float64) Var {
+	if vt == Binary {
+		lb = math.Max(lb, 0)
+		ub = math.Min(ub, 1)
+	}
+	m.names = append(m.names, name)
+	m.lb = append(m.lb, lb)
+	m.ub = append(m.ub, ub)
+	m.vtype = append(m.vtype, vt)
+	m.obj = append(m.obj, obj)
+	return Var(len(m.names) - 1)
+}
+
+// SetObjective replaces the objective coefficient of v.
+func (m *Model) SetObjective(v Var, coeff float64) { m.obj[v] = coeff }
+
+// SetBounds replaces the bounds of v.
+func (m *Model) SetBounds(v Var, lb, ub float64) {
+	m.lb[v] = lb
+	m.ub[v] = ub
+}
+
+// Bounds returns the bounds of v.
+func (m *Model) Bounds(v Var) (lb, ub float64) { return m.lb[v], m.ub[v] }
+
+// Type returns the variable type of v.
+func (m *Model) Type(v Var) VarType { return m.vtype[v] }
+
+// Name returns the name of v.
+func (m *Model) Name(v Var) string { return m.names[v] }
+
+// AddConstraint appends a linear constraint row. Terms mentioning the same
+// variable are merged. Referencing an unknown variable is an error.
+func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) error {
+	merged := make(map[Var]float64, len(terms))
+	order := make([]Var, 0, len(terms))
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(m.names) {
+			return fmt.Errorf("milp: constraint %q references unknown variable %d", name, t.Var)
+		}
+		if _, seen := merged[t.Var]; !seen {
+			order = append(order, t.Var)
+		}
+		merged[t.Var] += t.Coeff
+	}
+	out := make([]Term, 0, len(order))
+	for _, v := range order {
+		if c := merged[v]; c != 0 {
+			out = append(out, Term{v, c})
+		}
+	}
+	m.rows = append(m.rows, Constraint{Name: name, Terms: out, Rel: rel, RHS: rhs})
+	return nil
+}
+
+// MustAddConstraint is AddConstraint that panics on error; for rows whose
+// variables are known valid by construction.
+func (m *Model) MustAddConstraint(name string, terms []Term, rel Rel, rhs float64) {
+	if err := m.AddConstraint(name, terms, rel, rhs); err != nil {
+		panic(err)
+	}
+}
+
+// Constraint returns the i-th constraint row.
+func (m *Model) Constraint(i int) Constraint { return m.rows[i] }
+
+// Validate checks the model for structural problems: reversed or NaN
+// bounds, NaN coefficients, and empty rows with unsatisfiable relations.
+func (m *Model) Validate() error {
+	for i := range m.names {
+		if math.IsNaN(m.lb[i]) || math.IsNaN(m.ub[i]) {
+			return fmt.Errorf("milp: variable %s has NaN bound", m.names[i])
+		}
+		if m.lb[i] > m.ub[i] {
+			return fmt.Errorf("milp: variable %s has reversed bounds [%v, %v]", m.names[i], m.lb[i], m.ub[i])
+		}
+		if math.IsNaN(m.obj[i]) {
+			return fmt.Errorf("milp: variable %s has NaN objective coefficient", m.names[i])
+		}
+	}
+	for _, r := range m.rows {
+		if math.IsNaN(r.RHS) {
+			return fmt.Errorf("milp: constraint %q has NaN right-hand side", r.Name)
+		}
+		for _, t := range r.Terms {
+			if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+				return fmt.Errorf("milp: constraint %q has invalid coefficient for %s",
+					r.Name, m.names[t.Var])
+			}
+		}
+	}
+	return nil
+}
+
+// HasIntegers reports whether the model contains any integer or binary
+// variables.
+func (m *Model) HasIntegers() bool {
+	for _, vt := range m.vtype {
+		if vt != Continuous {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the model in a readable LP-like format, used by tests and
+// by the Fig. 4 reproduction printer in the repair package.
+func (m *Model) String() string {
+	var b strings.Builder
+	b.WriteString("min ")
+	first := true
+	for i, c := range m.obj {
+		if c == 0 {
+			continue
+		}
+		writeTerm(&b, &first, c, m.names[i])
+	}
+	if first {
+		b.WriteString("0")
+	}
+	b.WriteString("\nsubject to\n")
+	for _, r := range m.rows {
+		b.WriteString("  ")
+		rf := true
+		for _, t := range r.Terms {
+			writeTerm(&b, &rf, t.Coeff, m.names[t.Var])
+		}
+		if rf {
+			b.WriteString("0")
+		}
+		fmt.Fprintf(&b, " %s %g\n", r.Rel, r.RHS)
+	}
+	return b.String()
+}
+
+func writeTerm(b *strings.Builder, first *bool, c float64, name string) {
+	switch {
+	case *first && c == 1:
+		b.WriteString(name)
+	case *first && c == -1:
+		b.WriteString("-" + name)
+	case *first:
+		fmt.Fprintf(b, "%g %s", c, name)
+	case c == 1:
+		b.WriteString(" + " + name)
+	case c == -1:
+		b.WriteString(" - " + name)
+	case c < 0:
+		fmt.Fprintf(b, " - %g %s", -c, name)
+	default:
+		fmt.Fprintf(b, " + %g %s", c, name)
+	}
+	*first = false
+}

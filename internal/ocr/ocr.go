@@ -1,0 +1,208 @@
+// Package ocr simulates the acquisition errors DART exists to repair. The
+// paper's pipeline digitizes paper documents with a commercial OCR tool;
+// this package replaces that proprietary dependency with a seeded
+// symbol-confusion model producing exactly the two error classes the paper
+// describes (Section 1): numerical value recognition errors (220 read as
+// 250) and symbol recognition errors in non-numerical strings ("beginning
+// cash" read as "bgnning cesh").
+package ocr
+
+import (
+	"math/rand"
+	"strings"
+
+	"dart/internal/docgen"
+)
+
+// digitConfusions lists plausible OCR digit misreads.
+var digitConfusions = map[byte][]byte{
+	'0': {'8', '6', '9'},
+	'1': {'7', '4'},
+	'2': {'7', '5'},
+	'3': {'8', '9'},
+	'4': {'1', '9'},
+	'5': {'6', '3'},
+	'6': {'5', '8'},
+	'7': {'1', '2'},
+	'8': {'3', '0'},
+	'9': {'4', '0'},
+}
+
+// letterConfusions lists plausible OCR letter misreads (lower case).
+var letterConfusions = map[byte][]byte{
+	'a': {'e', 'o'},
+	'b': {'h', 'd'},
+	'c': {'e', 'o'},
+	'e': {'c', 'o'},
+	'g': {'q', 'y'},
+	'h': {'b', 'n'},
+	'i': {'l', 'j'},
+	'l': {'i', 't'},
+	'm': {'n'},
+	'n': {'m', 'h'},
+	'o': {'e', 'c'},
+	'q': {'g'},
+	'r': {'n'},
+	's': {'z'},
+	't': {'l', 'f'},
+	'u': {'v', 'n'},
+	'v': {'u', 'y'},
+	'y': {'v', 'g'},
+	'z': {'s'},
+}
+
+// Corruption records one injected acquisition error for ground-truth
+// bookkeeping in experiments.
+type Corruption struct {
+	Table, Row, Col int
+	Old, New        string
+	Numeric         bool
+}
+
+// Options controls error injection. The zero value injects nothing.
+type Options struct {
+	// NumericErrors is the exact number of numeric cells to corrupt.
+	NumericErrors int
+	// StringRate is the per-eligible-cell probability of corrupting a
+	// non-numeric string.
+	StringRate float64
+	// EligibleNumeric optionally restricts which numeric cells may be
+	// corrupted (e.g. excluding year columns). nil means all.
+	EligibleNumeric func(table, row, col int, text string) bool
+}
+
+// Corrupt returns a corrupted copy of the document together with the list
+// of injected errors. The original document is untouched. Injection is
+// fully determined by rng.
+func Corrupt(doc *docgen.Document, opts Options, rng *rand.Rand) (*docgen.Document, []Corruption) {
+	out := doc.Clone()
+	var corruptions []Corruption
+
+	type pos struct{ t, r, c int }
+	var numeric []pos
+	out.Cells(func(t, r, c int, cell *docgen.Cell) {
+		if isNumeric(cell.Text) {
+			if opts.EligibleNumeric == nil || opts.EligibleNumeric(t, r, c, cell.Text) {
+				numeric = append(numeric, pos{t, r, c})
+			}
+		}
+	})
+	// Numeric errors: pick distinct cells.
+	k := opts.NumericErrors
+	if k > len(numeric) {
+		k = len(numeric)
+	}
+	for _, pi := range rng.Perm(len(numeric))[:k] {
+		p := numeric[pi]
+		cell := &out.Tables[p.t].Rows[p.r][p.c]
+		old := cell.Text
+		cell.Text = corruptNumber(old, rng)
+		corruptions = append(corruptions, Corruption{Table: p.t, Row: p.r, Col: p.c, Old: old, New: cell.Text, Numeric: true})
+	}
+	// String errors: Bernoulli per eligible cell.
+	if opts.StringRate > 0 {
+		out.Cells(func(t, r, c int, cell *docgen.Cell) {
+			if isNumeric(cell.Text) || cell.Text == "" {
+				return
+			}
+			if rng.Float64() >= opts.StringRate {
+				return
+			}
+			old := cell.Text
+			nw := corruptString(old, rng)
+			if nw == old {
+				return
+			}
+			cell.Text = nw
+			corruptions = append(corruptions, Corruption{Table: t, Row: r, Col: c, Old: old, New: nw})
+		})
+	}
+	return out, corruptions
+}
+
+// isNumeric reports whether the cell text is a (possibly signed) integer.
+func isNumeric(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	if s[0] == '-' {
+		s = s[1:]
+	}
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// corruptNumber misreads one digit of a numeric string (guaranteed to
+// change the value), occasionally dropping or duplicating a digit instead.
+func corruptNumber(s string, rng *rand.Rand) string {
+	b := []byte(s)
+	digits := make([]int, 0, len(b))
+	for i := range b {
+		if b[i] >= '0' && b[i] <= '9' {
+			digits = append(digits, i)
+		}
+	}
+	if len(digits) == 0 {
+		return s
+	}
+	i := digits[rng.Intn(len(digits))]
+	switch roll := rng.Float64(); {
+	case roll < 0.70: // substitution
+		cands := digitConfusions[b[i]]
+		b[i] = cands[rng.Intn(len(cands))]
+		return string(b)
+	case roll < 0.85 && len(digits) > 1: // deletion (keep at least 1 digit)
+		return string(append(b[:i:i], b[i+1:]...))
+	default: // duplication
+		out := make([]byte, 0, len(b)+1)
+		out = append(out, b[:i+1]...)
+		out = append(out, b[i])
+		out = append(out, b[i+1:]...)
+		return string(out)
+	}
+}
+
+// corruptString applies 1-2 symbol slips to a non-numeric string:
+// confusions, vowel drops, or adjacent transpositions.
+func corruptString(s string, rng *rand.Rand) string {
+	b := []byte(s)
+	slips := 1 + rng.Intn(2)
+	for n := 0; n < slips && len(b) > 1; n++ {
+		letters := make([]int, 0, len(b))
+		for i := range b {
+			if b[i] >= 'a' && b[i] <= 'z' || b[i] >= 'A' && b[i] <= 'Z' {
+				letters = append(letters, i)
+			}
+		}
+		if len(letters) == 0 {
+			break
+		}
+		i := letters[rng.Intn(len(letters))]
+		lower := b[i] | 0x20
+		switch roll := rng.Float64(); {
+		case roll < 0.5:
+			if cands, ok := letterConfusions[lower]; ok {
+				b[i] = cands[rng.Intn(len(cands))]
+			} else {
+				b[i] = byte('a' + rng.Intn(26))
+			}
+		case roll < 0.8: // drop the character
+			b = append(b[:i:i], b[i+1:]...)
+		default: // transpose with the next character when possible
+			if i+1 < len(b) && b[i+1] != ' ' {
+				b[i], b[i+1] = b[i+1], b[i]
+			} else {
+				b = append(b[:i:i], b[i+1:]...)
+			}
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,173 @@
+package ocr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dart/internal/docgen"
+)
+
+func TestCorruptNumericExactCount(t *testing.T) {
+	doc := docgen.RunningExampleDocument()
+	rng := rand.New(rand.NewSource(1))
+	out, corr := Corrupt(doc, Options{NumericErrors: 3}, rng)
+	numeric := 0
+	for _, c := range corr {
+		if c.Numeric {
+			numeric++
+			if c.Old == c.New {
+				t.Errorf("numeric corruption is a no-op: %+v", c)
+			}
+			got := out.Tables[c.Table].Rows[c.Row][c.Col].Text
+			if got != c.New {
+				t.Errorf("document cell %q != recorded %q", got, c.New)
+			}
+		}
+	}
+	if numeric != 3 {
+		t.Errorf("numeric corruptions = %d, want 3", numeric)
+	}
+	// Original untouched.
+	if doc.Tables[0].Rows[0][3].Text != "20" {
+		t.Error("original mutated")
+	}
+}
+
+func TestCorruptNumericValuesStayNumeric(t *testing.T) {
+	doc := docgen.RunningExampleDocument()
+	for seed := int64(0); seed < 30; seed++ {
+		out, corr := Corrupt(doc, Options{NumericErrors: 5}, rand.New(rand.NewSource(seed)))
+		_ = out
+		for _, c := range corr {
+			if !c.Numeric {
+				continue
+			}
+			for i := 0; i < len(c.New); i++ {
+				if c.New[i] < '0' || c.New[i] > '9' {
+					t.Fatalf("seed %d: corrupted number %q contains non-digit", seed, c.New)
+				}
+			}
+			if c.New == c.Old {
+				t.Fatalf("seed %d: no-op corruption", seed)
+			}
+		}
+	}
+}
+
+func TestCorruptDeterministicPerSeed(t *testing.T) {
+	doc := docgen.RunningExampleDocument()
+	a, ca := Corrupt(doc, Options{NumericErrors: 2, StringRate: 0.3}, rand.New(rand.NewSource(42)))
+	b, cb := Corrupt(doc, Options{NumericErrors: 2, StringRate: 0.3}, rand.New(rand.NewSource(42)))
+	if a.HTML() != b.HTML() || len(ca) != len(cb) {
+		t.Error("corruption not deterministic for a fixed seed")
+	}
+}
+
+func TestCorruptStringRate(t *testing.T) {
+	doc := docgen.RunningExampleDocument()
+	out, corr := Corrupt(doc, Options{StringRate: 1.0}, rand.New(rand.NewSource(7)))
+	strCorr := 0
+	for _, c := range corr {
+		if !c.Numeric {
+			strCorr++
+			if c.New == c.Old {
+				t.Errorf("string corruption is a no-op: %+v", c)
+			}
+		}
+	}
+	// Every non-numeric cell (2 years x (1 year? no: year is numeric) —
+	// 3 sections + 10 subsections per table) should have been hit, minus
+	// rare cases where slips cancel.
+	if strCorr < 20 {
+		t.Errorf("string corruptions = %d, want most of 26", strCorr)
+	}
+	if out.HTML() == doc.HTML() {
+		t.Error("document unchanged at rate 1.0")
+	}
+}
+
+func TestEligibleNumericFilter(t *testing.T) {
+	doc := docgen.RunningExampleDocument()
+	// Exclude the year cells (column 0 of row 0 in each table).
+	opts := Options{
+		NumericErrors: 24, // more than available value cells (20)
+		EligibleNumeric: func(table, row, col int, text string) bool {
+			return !(row == 0 && col == 0)
+		},
+	}
+	_, corr := Corrupt(doc, opts, rand.New(rand.NewSource(9)))
+	if len(corr) != 20 {
+		t.Errorf("corruptions = %d, want 20 (years excluded)", len(corr))
+	}
+	for _, c := range corr {
+		if c.Row == 0 && c.Col == 0 {
+			t.Errorf("year cell corrupted despite filter: %+v", c)
+		}
+	}
+}
+
+func TestZeroOptionsNoCorruptions(t *testing.T) {
+	doc := docgen.RunningExampleDocument()
+	out, corr := Corrupt(doc, Options{}, rand.New(rand.NewSource(3)))
+	if len(corr) != 0 {
+		t.Errorf("corruptions = %d", len(corr))
+	}
+	if out.HTML() != doc.HTML() {
+		t.Error("document changed with zero options")
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"123", true}, {"-5", true}, {" 42 ", true},
+		{"", false}, {"-", false}, {"12a", false}, {"1.5", false},
+		{"beginning cash", false},
+	}
+	for _, tc := range tests {
+		if got := isNumeric(tc.in); got != tc.want {
+			t.Errorf("isNumeric(%q) = %v", tc.in, got)
+		}
+	}
+}
+
+func TestCorruptStringStaysPlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		out := corruptString("beginning cash", rng)
+		if len(out) < len("beginning cash")-2 || len(out) > len("beginning cash")+1 {
+			t.Errorf("implausible corruption %q", out)
+		}
+	}
+}
+
+func TestCorruptNumberAllBranches(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sawShorter, sawLonger, sawSameLen := false, false, false
+	for i := 0; i < 200; i++ {
+		out := corruptNumber("2048", rng)
+		switch {
+		case len(out) < 4:
+			sawShorter = true
+		case len(out) > 4:
+			sawLonger = true
+		default:
+			sawSameLen = true
+		}
+		if out == "2048" {
+			t.Errorf("corruptNumber returned the input")
+		}
+	}
+	if !sawShorter || !sawLonger || !sawSameLen {
+		t.Errorf("branch coverage: shorter=%v longer=%v same=%v", sawShorter, sawLonger, sawSameLen)
+	}
+	if got := corruptNumber("", rng); got != "" {
+		t.Errorf("empty input = %q", got)
+	}
+	if !strings.ContainsAny(corruptNumber("7", rng), "0123456789") {
+		t.Error("single digit corruption lost all digits")
+	}
+}

@@ -1,0 +1,184 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Database is an instance of a database scheme: a set of relations plus the
+// designated measure-attribute set M_D (Section 3 of the paper). Measure
+// attributes are the numerical attributes representing measure data; they
+// are the only attributes atomic updates may change.
+type Database struct {
+	relations map[string]*Relation
+	order     []string
+	measures  map[AttrRef]bool
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		relations: make(map[string]*Relation),
+		measures:  make(map[AttrRef]bool),
+	}
+}
+
+// AddRelation registers an empty relation over the given scheme and returns
+// it. Relation names must be unique within the database.
+func (d *Database) AddRelation(schema *Schema) (*Relation, error) {
+	if _, dup := d.relations[schema.Name()]; dup {
+		return nil, fmt.Errorf("relational: duplicate relation %q", schema.Name())
+	}
+	r := NewRelation(schema)
+	d.relations[schema.Name()] = r
+	d.order = append(d.order, schema.Name())
+	return r, nil
+}
+
+// MustAddRelation is AddRelation that panics on error.
+func (d *Database) MustAddRelation(schema *Schema) *Relation {
+	r, err := d.AddRelation(schema)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation returns the named relation, or nil if absent.
+func (d *Database) Relation(name string) *Relation { return d.relations[name] }
+
+// RelationNames returns relation names in registration order.
+func (d *Database) RelationNames() []string { return append([]string(nil), d.order...) }
+
+// DesignateMeasure adds Relation.Attribute to the measure set M_D. The
+// attribute must exist and be numerical.
+func (d *Database) DesignateMeasure(relation, attribute string) error {
+	r := d.relations[relation]
+	if r == nil {
+		return fmt.Errorf("relational: no relation %q", relation)
+	}
+	dom, err := r.Schema().DomainOf(attribute)
+	if err != nil {
+		return err
+	}
+	if !dom.Numerical() {
+		return fmt.Errorf("relational: measure attribute %s.%s must be numerical, is %s",
+			relation, attribute, dom)
+	}
+	d.measures[AttrRef{relation, attribute}] = true
+	return nil
+}
+
+// IsMeasure reports whether Relation.Attribute belongs to M_D.
+func (d *Database) IsMeasure(relation, attribute string) bool {
+	return d.measures[AttrRef{relation, attribute}]
+}
+
+// Measures returns M_D sorted lexicographically.
+func (d *Database) Measures() []AttrRef {
+	out := make([]AttrRef, 0, len(d.measures))
+	for m := range d.measures {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relation != out[j].Relation {
+			return out[i].Relation < out[j].Relation
+		}
+		return out[i].Attribute < out[j].Attribute
+	})
+	return out
+}
+
+// MeasuresOf returns the measure attributes of one relation (the paper's
+// M_R), in scheme order.
+func (d *Database) MeasuresOf(relation string) []string {
+	r := d.relations[relation]
+	if r == nil {
+		return nil
+	}
+	var out []string
+	for _, a := range r.Schema().Attributes() {
+		if d.measures[AttrRef{relation, a.Name}] {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the database (schemes shared, tuples copied).
+func (d *Database) Clone() *Database {
+	c := NewDatabase()
+	for _, name := range d.order {
+		c.relations[name] = d.relations[name].Clone()
+		c.order = append(c.order, name)
+	}
+	for m := range d.measures {
+		c.measures[m] = true
+	}
+	return c
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (d *Database) TotalTuples() int {
+	n := 0
+	for _, r := range d.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// String renders every relation as an aligned text table, in registration
+// order — the format used by the CLI and the examples.
+func (d *Database) String() string {
+	var b strings.Builder
+	for i, name := range d.order {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		r := d.relations[name]
+		writeTable(&b, r)
+	}
+	return b.String()
+}
+
+func writeTable(b *strings.Builder, r *Relation) {
+	s := r.Schema()
+	headers := make([]string, s.Arity())
+	widths := make([]int, s.Arity())
+	for i := 0; i < s.Arity(); i++ {
+		headers[i] = s.Attribute(i).Name
+		widths[i] = len(headers[i])
+	}
+	rows := make([][]string, 0, r.Len())
+	for _, t := range r.Tuples() {
+		row := make([]string, s.Arity())
+		for i := 0; i < s.Arity(); i++ {
+			row[i] = t.At(i).String()
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintf(b, "%s\n", s.Name())
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := len(headers) - 1
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+}

@@ -1,0 +1,138 @@
+package relational
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a plain-text persistence format for databases, so
+// acquired and repaired instances can be saved and reloaded (the paper's
+// module "transforms them into a database instance" — this is its
+// serialization). The format is line-oriented:
+//
+//	relation CashBudget(Year:Z, Section:S, Subsection:S, Type:S, Value:Z)
+//	measure CashBudget.Value
+//	row CashBudget	2003	Receipts	beginning cash	drv	20
+//
+// Row values are tab-separated (tabs inside string values are not
+// supported and rejected on write).
+
+// Write serializes the database.
+func (d *Database) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range d.order {
+		rel := d.relations[name]
+		if _, err := fmt.Fprintf(bw, "relation %s\n", rel.Schema()); err != nil {
+			return err
+		}
+	}
+	for _, m := range d.Measures() {
+		if _, err := fmt.Fprintf(bw, "measure %s\n", m); err != nil {
+			return err
+		}
+	}
+	for _, name := range d.order {
+		rel := d.relations[name]
+		for _, t := range rel.Tuples() {
+			cells := make([]string, rel.Schema().Arity())
+			for i := range cells {
+				v := t.At(i)
+				s := v.String()
+				if strings.ContainsAny(s, "\t\n") {
+					return fmt.Errorf("relational: value %q of %s contains tab/newline; not serializable", s, name)
+				}
+				cells[i] = s
+			}
+			if _, err := fmt.Fprintf(bw, "row %s\t%s\n", name, strings.Join(cells, "\t")); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a database previously serialized with Write.
+func Read(r io.Reader) (*Database, error) {
+	db := NewDatabase()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "relation "):
+			s, err := parseSchemaDecl(strings.TrimPrefix(line, "relation "))
+			if err != nil {
+				return nil, fmt.Errorf("relational: line %d: %w", lineNo, err)
+			}
+			if _, err := db.AddRelation(s); err != nil {
+				return nil, fmt.Errorf("relational: line %d: %w", lineNo, err)
+			}
+		case strings.HasPrefix(line, "measure "):
+			ref := strings.TrimSpace(strings.TrimPrefix(line, "measure "))
+			dot := strings.LastIndexByte(ref, '.')
+			if dot < 0 {
+				return nil, fmt.Errorf("relational: line %d: measure needs Relation.Attribute", lineNo)
+			}
+			if err := db.DesignateMeasure(ref[:dot], ref[dot+1:]); err != nil {
+				return nil, fmt.Errorf("relational: line %d: %w", lineNo, err)
+			}
+		case strings.HasPrefix(line, "row "):
+			rest := strings.TrimPrefix(line, "row ")
+			parts := strings.Split(rest, "\t")
+			rel := db.Relation(strings.TrimSpace(parts[0]))
+			if rel == nil {
+				return nil, fmt.Errorf("relational: line %d: row for undeclared relation %q", lineNo, parts[0])
+			}
+			if len(parts)-1 != rel.Schema().Arity() {
+				return nil, fmt.Errorf("relational: line %d: %d values for arity %d", lineNo, len(parts)-1, rel.Schema().Arity())
+			}
+			vals := make([]Value, rel.Schema().Arity())
+			for i := range vals {
+				v, err := ParseValue(parts[i+1], rel.Schema().Attribute(i).Domain)
+				if err != nil {
+					return nil, fmt.Errorf("relational: line %d: %w", lineNo, err)
+				}
+				vals[i] = v
+			}
+			if _, err := rel.Insert(vals...); err != nil {
+				return nil, fmt.Errorf("relational: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("relational: line %d: unknown directive %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// parseSchemaDecl parses "Name(Attr:Z, Attr:S, ...)".
+func parseSchemaDecl(s string) (*Schema, error) {
+	open := strings.IndexByte(s, '(')
+	closeIdx := strings.LastIndexByte(s, ')')
+	if open < 0 || closeIdx < open {
+		return nil, fmt.Errorf("bad relation declaration %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	var attrs []Attribute
+	for _, part := range strings.Split(s[open+1:closeIdx], ",") {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad attribute %q", part)
+		}
+		dom, err := ParseDomain(kv[1])
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, Attribute{Name: strings.TrimSpace(kv[0]), Domain: dom})
+	}
+	return NewSchema(name, attrs...)
+}

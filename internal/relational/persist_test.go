@@ -1,0 +1,83 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	r := db.MustAddRelation(cashBudgetSchema(t))
+	r.MustInsert(Int(2003), String("Receipts"), String("cash sales"), String("det"), Int(100))
+	r.MustInsert(Int(2004), String("Balance"), String("net cash inflow"), String("drv"), Int(-10))
+	db.MustAddRelation(MustSchema("Rates",
+		Attribute{Name: "Name", Domain: DomainString},
+		Attribute{Name: "Rate", Domain: DomainReal},
+	)).MustInsert(String("discount"), Real(0.125))
+	if err := db.DesignateMeasure("CashBudget", "Value"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DesignateMeasure("Rates", "Rate"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := db.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("%v\nserialized:\n%s", err, buf.String())
+	}
+	if got.String() != db.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", got.String(), db.String())
+	}
+	if !got.IsMeasure("CashBudget", "Value") || !got.IsMeasure("Rates", "Rate") {
+		t.Error("measures lost")
+	}
+	// And a second round trip is byte-identical.
+	var buf2 strings.Builder
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("serialization not canonical")
+	}
+}
+
+func TestWriteRejectsTabs(t *testing.T) {
+	db := NewDatabase()
+	r := db.MustAddRelation(MustSchema("R", Attribute{Name: "S", Domain: DomainString}))
+	r.MustInsert(String("a\tb"))
+	if err := db.Write(&strings.Builder{}); err == nil {
+		t.Error("tab in value must be rejected")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown directive", "banana\n"},
+		{"bad relation", "relation R A:Z\n"},
+		{"bad attribute", "relation R(A)\n"},
+		{"bad domain", "relation R(A: Q)\n"},
+		{"dup relation", "relation R(A: Z)\nrelation R(A: Z)\n"},
+		{"bad measure", "measure R\n"},
+		{"measure unknown rel", "measure R.A\n"},
+		{"row undeclared", "row R\t1\n"},
+		{"row arity", "relation R(A: Z)\nrow R\t1\t2\n"},
+		{"row bad value", "relation R(A: Z)\nrow R\tx\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// Comments and blank lines are fine.
+	db, err := Read(strings.NewReader("# comment\n\nrelation R(A: Z)\nrow R\t7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("R").Len() != 1 {
+		t.Error("row lost")
+	}
+}

@@ -1,0 +1,108 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named attribute of a relational scheme together with its
+// domain.
+type Attribute struct {
+	Name   string
+	Domain Domain
+}
+
+// Schema is a relational scheme R(A1:D1, ..., An:Dn).
+type Schema struct {
+	name  string
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a relational scheme. Attribute names must be non-empty
+// and pairwise distinct.
+func NewSchema(name string, attrs ...Attribute) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relational: empty relation name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relational: scheme %s has no attributes", name)
+	}
+	s := &Schema{name: name, attrs: append([]Attribute(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("relational: scheme %s: attribute %d has empty name", name, i)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("relational: scheme %s: duplicate attribute %q", name, a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for statically known schemes.
+func MustSchema(name string, attrs ...Attribute) *Schema {
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the relation name.
+func (s *Schema) Name() string { return s.name }
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attributes returns a copy of the attribute list.
+func (s *Schema) Attributes() []Attribute { return append([]Attribute(nil), s.attrs...) }
+
+// Attribute returns the i-th attribute.
+func (s *Schema) Attribute(i int) Attribute { return s.attrs[i] }
+
+// AttrIndex returns the position of the named attribute, or -1 if absent.
+func (s *Schema) AttrIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasAttr reports whether the scheme has an attribute with the given name.
+func (s *Schema) HasAttr(name string) bool { return s.AttrIndex(name) >= 0 }
+
+// DomainOf returns the domain of the named attribute.
+func (s *Schema) DomainOf(name string) (Domain, error) {
+	i := s.AttrIndex(name)
+	if i < 0 {
+		return 0, fmt.Errorf("relational: scheme %s has no attribute %q", s.name, name)
+	}
+	return s.attrs[i].Domain, nil
+}
+
+// String renders the scheme in the paper's sorted-predicate notation.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", a.Name, a.Domain)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// AttrRef names an attribute of a specific relation; database-level sets of
+// attributes (such as the measure set M_D) are sets of AttrRefs.
+type AttrRef struct {
+	Relation  string
+	Attribute string
+}
+
+// String renders the reference as Relation.Attribute.
+func (r AttrRef) String() string { return r.Relation + "." + r.Attribute }

@@ -1,0 +1,214 @@
+package relational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDomainNumerical(t *testing.T) {
+	tests := []struct {
+		d    Domain
+		want bool
+	}{
+		{DomainInt, true},
+		{DomainReal, true},
+		{DomainString, false},
+	}
+	for _, tc := range tests {
+		if got := tc.d.Numerical(); got != tc.want {
+			t.Errorf("%s.Numerical() = %v, want %v", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestParseDomain(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Domain
+		wantErr bool
+	}{
+		{"Z", DomainInt, false},
+		{"int", DomainInt, false},
+		{" Integer ", DomainInt, false},
+		{"R", DomainReal, false},
+		{"real", DomainReal, false},
+		{"S", DomainString, false},
+		{"string", DomainString, false},
+		{"bogus", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := ParseDomain(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseDomain(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseDomain(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Int(42).AsFloat(); got != 42.0 {
+		t.Errorf("Int(42).AsFloat() = %v", got)
+	}
+	if got := Real(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Real(2.5).AsFloat() = %v", got)
+	}
+	if got := Real(2.9).AsInt(); got != 2 {
+		t.Errorf("Real(2.9).AsInt() = %d, want truncation to 2", got)
+	}
+	if got := String("abc").AsString(); got != "abc" {
+		t.Errorf(`String("abc").AsString() = %q`, got)
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { String("x").AsInt() })
+	mustPanic("AsFloat on string", func() { String("x").AsFloat() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+}
+
+func TestValueEqualAndNumericEqual(t *testing.T) {
+	if !Int(3).Equal(Int(3)) {
+		t.Error("Int(3) should Equal Int(3)")
+	}
+	if Int(3).Equal(Real(3)) {
+		t.Error("Int(3) must not Equal Real(3) (different kinds)")
+	}
+	if !Int(3).NumericEqual(Real(3), 1e-9) {
+		t.Error("Int(3) should NumericEqual Real(3)")
+	}
+	if Int(3).NumericEqual(String("3"), 1e-9) {
+		t.Error("numbers never NumericEqual strings")
+	}
+	if !Real(1.0).NumericEqual(Real(1.0+1e-12), 1e-9) {
+		t.Error("NumericEqual should tolerate eps")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Real(1.5), Real(2.5), -1},
+		{String("a"), String("b"), -1},
+		{Int(9), Real(0), -1}, // kind order Z < R
+		{Real(9), String(""), -1},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-7), "-7"},
+		{Real(2.5), "2.5"},
+		{String("cash sales"), "cash sales"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(" 220 ", DomainInt)
+	if err != nil || v != Int(220) {
+		t.Errorf("ParseValue(220, Z) = %v, %v", v, err)
+	}
+	v, err = ParseValue("3.5", DomainReal)
+	if err != nil || v != Real(3.5) {
+		t.Errorf("ParseValue(3.5, R) = %v, %v", v, err)
+	}
+	v, err = ParseValue("  beginning cash ", DomainString)
+	if err != nil || v.AsString() != "beginning cash" {
+		t.Errorf("ParseValue string = %v, %v", v, err)
+	}
+	if _, err := ParseValue("abc", DomainInt); err == nil {
+		t.Error("ParseValue(abc, Z) should fail")
+	}
+	if _, err := ParseValue("abc", DomainReal); err == nil {
+		t.Error("ParseValue(abc, R) should fail")
+	}
+}
+
+func TestFromFloat(t *testing.T) {
+	v, err := FromFloat(2.6, DomainInt)
+	if err != nil || v != Int(3) {
+		t.Errorf("FromFloat(2.6, Z) = %v, %v; want 3", v, err)
+	}
+	v, err = FromFloat(-2.6, DomainInt)
+	if err != nil || v != Int(-3) {
+		t.Errorf("FromFloat(-2.6, Z) = %v, %v; want -3", v, err)
+	}
+	v, err = FromFloat(2.6, DomainReal)
+	if err != nil || v != Real(2.6) {
+		t.Errorf("FromFloat(2.6, R) = %v, %v", v, err)
+	}
+	if _, err := FromFloat(1, DomainString); err == nil {
+		t.Error("FromFloat to string should fail")
+	}
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	// Parsing the rendered form of an integer value yields the same value.
+	f := func(n int64) bool {
+		v, err := ParseValue(Int(n).String(), DomainInt)
+		return err == nil && v == Int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromFloatRejectsNothingNumeric(t *testing.T) {
+	// FromFloat never loses more than 0.5 when targeting Z.
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 1e15 {
+			return true
+		}
+		v, err := FromFloat(x, DomainInt)
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(v.AsInt())-x) <= 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package runningex provides the paper's running example as shared
+// fixtures: the CashBudget database scheme, the correct instance of Fig. 1,
+// the acquired instance of Fig. 3 (with the 250-for-220 symbol recognition
+// error), the aggregation functions chi1 and chi2 of Example 2, and
+// Constraints 1-3 of Examples 3-4. Nearly every package's tests, the
+// examples, and the benchmark harness build on these fixtures.
+package runningex
+
+import (
+	"dart/internal/aggrcons"
+	"dart/internal/relational"
+)
+
+// Row subsection labels of a cash budget, in document order.
+var Subsections = []string{
+	"beginning cash",
+	"cash sales",
+	"receivables",
+	"total cash receipts",
+	"payment of accounts",
+	"capital expenditure",
+	"long-term financing",
+	"total disbursements",
+	"net cash inflow",
+	"ending cash balance",
+}
+
+// SectionOf maps each subsection to its section.
+var SectionOf = map[string]string{
+	"beginning cash":      "Receipts",
+	"cash sales":          "Receipts",
+	"receivables":         "Receipts",
+	"total cash receipts": "Receipts",
+	"payment of accounts": "Disbursements",
+	"capital expenditure": "Disbursements",
+	"long-term financing": "Disbursements",
+	"total disbursements": "Disbursements",
+	"net cash inflow":     "Balance",
+	"ending cash balance": "Balance",
+}
+
+// TypeOf is the classification information of Section 6.2: each subsection
+// is a detail, aggregate, or derived item.
+var TypeOf = map[string]string{
+	"beginning cash":      "drv",
+	"cash sales":          "det",
+	"receivables":         "det",
+	"total cash receipts": "aggr",
+	"payment of accounts": "det",
+	"capital expenditure": "det",
+	"long-term financing": "det",
+	"total disbursements": "aggr",
+	"net cash inflow":     "drv",
+	"ending cash balance": "drv",
+}
+
+// Schema returns the CashBudget(Year, Section, Subsection, Type, Value)
+// scheme of Example 2.
+func Schema() *relational.Schema {
+	return relational.MustSchema("CashBudget",
+		relational.Attribute{Name: "Year", Domain: relational.DomainInt},
+		relational.Attribute{Name: "Section", Domain: relational.DomainString},
+		relational.Attribute{Name: "Subsection", Domain: relational.DomainString},
+		relational.Attribute{Name: "Type", Domain: relational.DomainString},
+		relational.Attribute{Name: "Value", Domain: relational.DomainInt},
+	)
+}
+
+// yearValues holds the Value column per year in Subsections order.
+type yearValues struct {
+	year int64
+	vals [10]int64
+}
+
+var correctData = []yearValues{
+	{2003, [10]int64{20, 100, 120, 220, 120, 0, 40, 160, 60, 80}},
+	{2004, [10]int64{80, 100, 100, 200, 130, 40, 20, 190, 10, 90}},
+}
+
+// newDB builds a CashBudget database from per-year value rows.
+func newDB(data []yearValues) *relational.Database {
+	db := relational.NewDatabase()
+	r := db.MustAddRelation(Schema())
+	for _, y := range data {
+		for i, sub := range Subsections {
+			r.MustInsert(
+				relational.Int(y.year),
+				relational.String(SectionOf[sub]),
+				relational.String(sub),
+				relational.String(TypeOf[sub]),
+				relational.Int(y.vals[i]),
+			)
+		}
+	}
+	if err := db.DesignateMeasure("CashBudget", "Value"); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// CorrectDatabase returns the consistent instance matching Fig. 1.
+func CorrectDatabase() *relational.Database { return newDB(correctData) }
+
+// AcquiredDatabase returns the Fig. 3 instance: identical to the correct
+// one except that 'total cash receipts' for 2003 was acquired as 250
+// instead of 220.
+func AcquiredDatabase() *relational.Database {
+	db := CorrectDatabase()
+	r := db.Relation("CashBudget")
+	bad := r.Select(func(t *relational.Tuple) bool {
+		return t.Get("Year") == relational.Int(2003) &&
+			t.Get("Subsection") == relational.String("total cash receipts")
+	})
+	if len(bad) != 1 {
+		panic("runningex: fixture corrupted")
+	}
+	if err := r.SetValue(bad[0].ID(), "Value", relational.Int(250)); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Chi1 returns the aggregation function chi1 of Example 2:
+//
+//	chi1(x,y,z) = SELECT sum(Value) FROM CashBudget
+//	              WHERE Section = x AND Year = y AND Type = z
+func Chi1() *aggrcons.AggFunc {
+	return &aggrcons.AggFunc{
+		Name:     "chi1",
+		Relation: "CashBudget",
+		Params:   []string{"x", "y", "z"},
+		Expr:     aggrcons.AttrTerm("Value"),
+		Where: aggrcons.And{
+			aggrcons.Cmp{L: aggrcons.OpAttr("Section"), Op: aggrcons.CmpEQ, R: aggrcons.OpParam(0)},
+			aggrcons.Cmp{L: aggrcons.OpAttr("Year"), Op: aggrcons.CmpEQ, R: aggrcons.OpParam(1)},
+			aggrcons.Cmp{L: aggrcons.OpAttr("Type"), Op: aggrcons.CmpEQ, R: aggrcons.OpParam(2)},
+		},
+	}
+}
+
+// Chi2 returns the aggregation function chi2 of Example 2:
+//
+//	chi2(x,y) = SELECT sum(Value) FROM CashBudget
+//	            WHERE Year = x AND Subsection = y
+func Chi2() *aggrcons.AggFunc {
+	return &aggrcons.AggFunc{
+		Name:     "chi2",
+		Relation: "CashBudget",
+		Params:   []string{"x", "y"},
+		Expr:     aggrcons.AttrTerm("Value"),
+		Where: aggrcons.And{
+			aggrcons.Cmp{L: aggrcons.OpAttr("Year"), Op: aggrcons.CmpEQ, R: aggrcons.OpParam(0)},
+			aggrcons.Cmp{L: aggrcons.OpAttr("Subsection"), Op: aggrcons.CmpEQ, R: aggrcons.OpParam(1)},
+		},
+	}
+}
+
+func str(s string) aggrcons.ArgTerm { return aggrcons.ConstArg(relational.String(s)) }
+
+// Constraint1 returns Constraint 1 of Example 3: for each section and year,
+// the sum of detail items equals the aggregate item.
+//
+//	CashBudget(y, x, _, _, _) ==> chi1(x,y,'det') - chi1(x,y,'aggr') = 0
+func Constraint1() *aggrcons.Constraint {
+	chi1 := Chi1()
+	return &aggrcons.Constraint{
+		Name: "Constraint1",
+		Body: []aggrcons.Atom{{
+			Relation: "CashBudget",
+			Args: []aggrcons.ArgTerm{
+				aggrcons.VarArg("y"), aggrcons.VarArg("x"),
+				aggrcons.Wildcard(), aggrcons.Wildcard(), aggrcons.Wildcard(),
+			},
+		}},
+		Calls: []aggrcons.AggCall{
+			{Coeff: 1, Func: chi1, Args: []aggrcons.ArgTerm{aggrcons.VarArg("x"), aggrcons.VarArg("y"), str("det")}},
+			{Coeff: -1, Func: chi1, Args: []aggrcons.ArgTerm{aggrcons.VarArg("x"), aggrcons.VarArg("y"), str("aggr")}},
+		},
+		Rel: aggrcons.EQ,
+		K:   0,
+	}
+}
+
+func cbBodyYearOnly() []aggrcons.Atom {
+	return []aggrcons.Atom{{
+		Relation: "CashBudget",
+		Args: []aggrcons.ArgTerm{
+			aggrcons.VarArg("x"),
+			aggrcons.Wildcard(), aggrcons.Wildcard(), aggrcons.Wildcard(), aggrcons.Wildcard(),
+		},
+	}}
+}
+
+// Constraint2 returns Constraint 2 of Example 4: net cash inflow equals
+// total cash receipts minus total disbursements.
+//
+//	CashBudget(x, _, _, _, _) ==>
+//	  chi2(x,'net cash inflow') - (chi2(x,'total cash receipts')
+//	                               - chi2(x,'total disbursements')) = 0
+func Constraint2() *aggrcons.Constraint {
+	chi2 := Chi2()
+	return &aggrcons.Constraint{
+		Name: "Constraint2",
+		Body: cbBodyYearOnly(),
+		Calls: []aggrcons.AggCall{
+			{Coeff: 1, Func: chi2, Args: []aggrcons.ArgTerm{aggrcons.VarArg("x"), str("net cash inflow")}},
+			{Coeff: -1, Func: chi2, Args: []aggrcons.ArgTerm{aggrcons.VarArg("x"), str("total cash receipts")}},
+			{Coeff: 1, Func: chi2, Args: []aggrcons.ArgTerm{aggrcons.VarArg("x"), str("total disbursements")}},
+		},
+		Rel: aggrcons.EQ,
+		K:   0,
+	}
+}
+
+// Constraint3 returns Constraint 3 of Example 4: ending cash balance equals
+// beginning cash plus net cash inflow.
+//
+//	CashBudget(x, _, _, _, _) ==>
+//	  chi2(x,'ending cash balance') - (chi2(x,'beginning cash')
+//	                                   + chi2(x,'net cash inflow')) = 0
+func Constraint3() *aggrcons.Constraint {
+	chi2 := Chi2()
+	return &aggrcons.Constraint{
+		Name: "Constraint3",
+		Body: cbBodyYearOnly(),
+		Calls: []aggrcons.AggCall{
+			{Coeff: 1, Func: chi2, Args: []aggrcons.ArgTerm{aggrcons.VarArg("x"), str("ending cash balance")}},
+			{Coeff: -1, Func: chi2, Args: []aggrcons.ArgTerm{aggrcons.VarArg("x"), str("beginning cash")}},
+			{Coeff: -1, Func: chi2, Args: []aggrcons.ArgTerm{aggrcons.VarArg("x"), str("net cash inflow")}},
+		},
+		Rel: aggrcons.EQ,
+		K:   0,
+	}
+}
+
+// Constraints returns all three steady aggregate constraints of the running
+// example.
+func Constraints() []*aggrcons.Constraint {
+	return []*aggrcons.Constraint{Constraint1(), Constraint2(), Constraint3()}
+}
