@@ -6,14 +6,17 @@
 //
 //	dart -in doc.html [-metadata md.txt | -scenario cashbudget|catalog]
 //	     [-interactive] [-show-milp] [-solver milp|cardsearch|greedy]
+//	     [-timeout 30s]
 //
 // With no -in, the built-in running example of the paper (Fig. 1 with the
 // 250-for-220 acquisition error) is processed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dart"
@@ -40,8 +43,16 @@ func run() error {
 		solverName   = flag.String("solver", "milp", "repair solver: milp, milp-literal, cardsearch, greedy-aggregate, greedy-local")
 		saveFile     = flag.String("save", "", "write the repaired database to this file (relational text format)")
 		lpFile       = flag.String("save-lp", "", "write the S*(AC) MILP instance to this file (CPLEX LP format)")
+		timeout      = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s); 0 = no limit")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	md, err := loadMetadata(*metadataFile, *scenarioName)
 	if err != nil {
@@ -61,7 +72,7 @@ func run() error {
 		p.Operator = &dart.InteractiveOperator{In: os.Stdin, Out: os.Stdout}
 	}
 
-	acq, err := p.Acquire(src)
+	acq, err := p.AcquireContext(ctx, src)
 	if err != nil {
 		return err
 	}
@@ -98,22 +109,14 @@ func run() error {
 			fmt.Println(comp.FormatProblem())
 		}
 		if *lpFile != "" {
-			f, err := os.Create(*lpFile)
-			if err != nil {
-				return err
-			}
-			if err := comp.Model.WriteLP(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := writeFile(*lpFile, comp.Model.WriteLP); err != nil {
 				return err
 			}
 			fmt.Printf("wrote MILP instance to %s\n", *lpFile)
 		}
 	}
 
-	res, err := p.Repair(acq)
+	res, err := p.RepairContext(ctx, acq)
 	if err != nil {
 		return err
 	}
@@ -129,18 +132,28 @@ func run() error {
 	fmt.Println("== Repaired database ==")
 	fmt.Println(res.Repaired)
 	if *saveFile != "" {
-		f, err := os.Create(*saveFile)
-		if err != nil {
-			return err
-		}
-		if err := res.Repaired.Write(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeFile(*saveFile, res.Repaired.Write); err != nil {
 			return err
 		}
 		fmt.Printf("wrote repaired database to %s\n", *saveFile)
+	}
+	return nil
+}
+
+// writeFile creates name, streams content into it, and closes it, reporting
+// every failure with the output filename in the message.
+func writeFile(name string, content func(io.Writer) error) (err error) {
+	f, cerr := os.Create(name)
+	if cerr != nil {
+		return fmt.Errorf("creating %s: %w", name, cerr)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing %s: %w", name, cerr)
+		}
+	}()
+	if werr := content(f); werr != nil {
+		return fmt.Errorf("writing %s: %w", name, werr)
 	}
 	return nil
 }

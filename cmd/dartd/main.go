@@ -1,0 +1,95 @@
+// Command dartd runs the DART acquisition-and-repair service: a concurrent
+// job queue + worker pool around dart.Pipeline, with an HTTP API and
+// Prometheus-format metrics.
+//
+// Usage:
+//
+//	dartd [-addr :8080] [-workers N] [-queue 1024]
+//	      [-job-timeout 60s] [-attempts 3] [-drain-timeout 30s]
+//
+// API:
+//
+//	POST /v1/jobs       {"document": "...", "scenario": "cashbudget"} -> 202 {"id": "job-000001", ...}
+//	GET  /v1/jobs/{id}  job status; includes the repair result when done
+//	GET  /v1/jobs       list all jobs
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       Prometheus text format
+//
+// SIGINT/SIGTERM drains gracefully: new submissions get 503, in-flight and
+// queued jobs finish (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dart/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dartd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueCap     = flag.Int("queue", 1024, "pending-job queue capacity")
+		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
+		attempts     = flag.Int("attempts", 3, "max runs per job (retries are attempts-1)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:       *workers,
+		QueueCapacity: *queueCap,
+		JobTimeout:    *jobTimeout,
+		MaxAttempts:   *attempts,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("dartd: listening on %s\n", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCtx.Done():
+	}
+
+	fmt.Println("dartd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the pool first so /healthz flips to 503 and queued jobs finish,
+	// then close the listener.
+	poolErr := srv.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if poolErr != nil {
+		return fmt.Errorf("drain incomplete: %w", poolErr)
+	}
+	fmt.Println("dartd: drained cleanly")
+	return nil
+}

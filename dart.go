@@ -23,7 +23,9 @@
 package dart
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"dart/internal/aggrcons"
 	"dart/internal/convert"
@@ -90,6 +92,23 @@ type Pipeline struct {
 	// ReviewPerIteration restarts the repair computation after this many
 	// validations (0 = review whole repairs).
 	ReviewPerIteration int
+	// Observer, when non-nil, receives the latency of every pipeline stage
+	// ("convert", "wrapper", "dbgen", "check", "solver"); the dartd service
+	// feeds its histograms through it.
+	Observer StageObserver
+}
+
+// StageObserver receives per-stage pipeline latencies.
+type StageObserver interface {
+	// ObserveStage records that the named stage took d.
+	ObserveStage(stage string, d time.Duration)
+}
+
+// observe times one stage and reports it to the observer, if any.
+func (p *Pipeline) observe(stage string, start time.Time) {
+	if p.Observer != nil {
+		p.Observer.ObserveStage(stage, time.Since(start))
+	}
 }
 
 // Acquisition is the output of the acquisition and extraction module.
@@ -129,26 +148,46 @@ type Result struct {
 // Acquire runs the acquisition and extraction module: format detection and
 // conversion, wrapping, database generation, and consistency checking.
 func (p *Pipeline) Acquire(src string) (*Acquisition, error) {
+	return p.AcquireContext(context.Background(), src)
+}
+
+// AcquireContext is Acquire with a context: acquisition stages are fast, so
+// the context is checked between stages rather than within them.
+func (p *Pipeline) AcquireContext(ctx context.Context, src string) (*Acquisition, error) {
 	if p.Metadata == nil {
 		return nil, fmt.Errorf("dart: pipeline has no metadata")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
 	html, err := convert.ToHTML(src, convert.Detect(src))
 	if err != nil {
 		return nil, fmt.Errorf("dart: format conversion: %w", err)
 	}
+	p.observe("convert", start)
 	w := p.Metadata.NewWrapper()
+	start = time.Now()
 	instances, skipped, err := w.Extract(html)
 	if err != nil {
 		return nil, fmt.Errorf("dart: extraction: %w", err)
 	}
+	p.observe("wrapper", start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
 	db, rowErrs, err := p.Metadata.NewGenerator().Generate(instances)
 	if err != nil {
 		return nil, fmt.Errorf("dart: database generation: %w", err)
 	}
+	p.observe("dbgen", start)
+	start = time.Now()
 	viols, err := aggrcons.Check(db, p.Metadata.Constraints(), 1e-9)
 	if err != nil {
 		return nil, fmt.Errorf("dart: consistency check: %w", err)
 	}
+	p.observe("check", start)
 	var repairs []StringRepair
 	for _, in := range instances {
 		repairs = append(repairs, in.Corrections()...)
@@ -167,6 +206,13 @@ func (p *Pipeline) Acquire(src string) (*Acquisition, error) {
 // Repair runs the repairing module on an acquired database, including the
 // operator validation loop when an Operator is configured.
 func (p *Pipeline) Repair(acq *Acquisition) (*Result, error) {
+	return p.RepairContext(context.Background(), acq)
+}
+
+// RepairContext is Repair with a context: with a cancellation-aware solver
+// (the default MILP solver is one) a long solve aborts with ctx.Err() at
+// the next branch-and-bound node once ctx is done.
+func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result, error) {
 	res := &Result{Acquisition: acq}
 	solver := p.Solver
 	if solver == nil {
@@ -178,10 +224,12 @@ func (p *Pipeline) Repair(acq *Acquisition) (*Result, error) {
 		return res, nil
 	}
 	if p.Operator == nil {
-		r, err := solver.FindRepair(acq.Database, p.Metadata.Constraints(), nil)
+		start := time.Now()
+		r, err := core.FindRepairCtx(ctx, solver, acq.Database, p.Metadata.Constraints(), nil)
 		if err != nil {
 			return nil, fmt.Errorf("dart: repair: %w", err)
 		}
+		p.observe("solver", start)
 		if r.Repair == nil {
 			return nil, fmt.Errorf("dart: no repair found (status %v)", r.Status)
 		}
@@ -198,12 +246,15 @@ func (p *Pipeline) Repair(acq *Acquisition) (*Result, error) {
 		Constraints:        p.Metadata.Constraints(),
 		Solver:             solver,
 		Operator:           p.Operator,
+		Context:            ctx,
 		ReviewPerIteration: p.ReviewPerIteration,
 	}
+	start := time.Now()
 	out, err := session.Run()
 	if err != nil {
 		return nil, fmt.Errorf("dart: validation loop: %w", err)
 	}
+	p.observe("solver", start)
 	res.Repair = out.Final
 	res.Repaired = out.Repaired
 	res.Validation = out
@@ -212,9 +263,15 @@ func (p *Pipeline) Repair(acq *Acquisition) (*Result, error) {
 
 // Process runs the complete pipeline on one document.
 func (p *Pipeline) Process(src string) (*Result, error) {
-	acq, err := p.Acquire(src)
+	return p.ProcessContext(context.Background(), src)
+}
+
+// ProcessContext runs the complete pipeline on one document under a
+// context; deadlines cancel long MILP solves mid-search.
+func (p *Pipeline) ProcessContext(ctx context.Context, src string) (*Result, error) {
+	acq, err := p.AcquireContext(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	return p.Repair(acq)
+	return p.RepairContext(ctx, acq)
 }

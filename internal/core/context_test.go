@@ -1,0 +1,46 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dart/internal/runningex"
+)
+
+// TestFindRepairContextCancelled: a cancelled context aborts the MILP
+// solver with context.Canceled instead of solving.
+func TestFindRepairContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &MILPSolver{}
+	_, err := s.FindRepairContext(ctx, runningex.AcquiredDatabase(), runningex.Constraints(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFindRepairCtxDispatch: the helper uses the context path for
+// ContextSolvers and the up-front check for plain solvers.
+func TestFindRepairCtxDispatch(t *testing.T) {
+	db := runningex.AcquiredDatabase()
+	acs := runningex.Constraints()
+
+	// Live context, context-aware solver: normal repair.
+	res, err := FindRepairCtx(context.Background(), &MILPSolver{}, db, acs, nil)
+	if err != nil || res.Card != 1 {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+
+	// Cancelled context, plain solver: rejected before solving.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FindRepairCtx(ctx, &GreedyLocalSolver{}, db, acs, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("plain solver err = %v, want context.Canceled", err)
+	}
+
+	// Live context, plain solver: runs to completion.
+	if _, err := FindRepairCtx(context.Background(), &CardinalitySearchSolver{}, db, acs, nil); err != nil {
+		t.Fatalf("cardsearch err = %v", err)
+	}
+}

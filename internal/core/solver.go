@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -41,6 +42,30 @@ type Solver interface {
 	FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error)
 }
 
+// ContextSolver is implemented by solvers whose repair computation honors
+// context cancellation and deadlines mid-solve. MILPSolver implements it by
+// polling the context once per branch-and-bound node.
+type ContextSolver interface {
+	Solver
+	// FindRepairContext is FindRepair with cooperative cancellation: it
+	// returns ctx.Err() (possibly wrapped) once ctx is done.
+	FindRepairContext(ctx context.Context, db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error)
+}
+
+// FindRepairCtx dispatches a repair computation with the best cancellation
+// support the solver offers: ContextSolver implementations are cancellable
+// mid-solve, plain Solvers are checked for an expired context up front and
+// then run to completion.
+func FindRepairCtx(ctx context.Context, s Solver, db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
+	if cs, ok := s.(ContextSolver); ok {
+		return cs.FindRepairContext(ctx, db, acs, forced)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.FindRepair(db, acs, forced)
+}
+
 // MILPSolver computes a card-minimal repair by solving S*(AC) (Section 5).
 type MILPSolver struct {
 	// Formulation selects the literal Eq.-(8) layout or the reduced one.
@@ -71,15 +96,21 @@ func (s *MILPSolver) Name() string { return "milp-" + s.Formulation.String() }
 
 // FindRepair implements Solver.
 func (s *MILPSolver) FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
+	return s.FindRepairContext(context.Background(), db, acs, forced)
+}
+
+// FindRepairContext implements ContextSolver: the computation aborts with
+// ctx.Err() at the next branch-and-bound node once ctx is done.
+func (s *MILPSolver) FindRepairContext(ctx context.Context, db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
 	sys, err := BuildSystem(db, acs)
 	if err != nil {
 		return nil, err
 	}
 	var res *Result
 	if s.DisableDecomposition {
-		res, err = s.solveSystem(sys, forced, db)
+		res, err = s.solveSystem(ctx, sys, forced, db)
 	} else {
-		res, err = s.solveDecomposed(sys, forced, db)
+		res, err = s.solveDecomposed(ctx, sys, forced, db)
 	}
 	if err != nil {
 		return nil, err
@@ -98,7 +129,7 @@ func (s *MILPSolver) FindRepair(db *relational.Database, acs []*aggrcons.Constra
 
 // solveDecomposed splits the system into connected components and solves
 // only those containing violated rows, optionally in parallel.
-func (s *MILPSolver) solveDecomposed(sys *System, forced map[Item]float64, db *relational.Database) (*Result, error) {
+func (s *MILPSolver) solveDecomposed(ctx context.Context, sys *System, forced map[Item]float64, db *relational.Database) (*Result, error) {
 	total := &Result{Status: milp.StatusOptimal, Repair: &Repair{}}
 	var pending []*System
 	for _, sub := range sys.Split() {
@@ -133,13 +164,13 @@ func (s *MILPSolver) solveDecomposed(sys *System, forced map[Item]float64, db *r
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				results[i], errs[i] = s.solveSystem(sub, forced, db)
+				results[i], errs[i] = s.solveSystem(ctx, sub, forced, db)
 			}(i, sub)
 		}
 		wg.Wait()
 	} else {
 		for i, sub := range pending {
-			results[i], errs[i] = s.solveSystem(sub, forced, db)
+			results[i], errs[i] = s.solveSystem(ctx, sub, forced, db)
 		}
 	}
 
@@ -165,10 +196,14 @@ func (s *MILPSolver) solveDecomposed(sys *System, forced map[Item]float64, db *r
 
 // solveSystem compiles and solves one system, escalating the big-M bound
 // when it proves binding or spuriously infeasible.
-func (s *MILPSolver) solveSystem(sys *System, forced map[Item]float64, db *relational.Database) (*Result, error) {
+func (s *MILPSolver) solveSystem(ctx context.Context, sys *System, forced map[Item]float64, db *relational.Database) (*Result, error) {
 	maxEsc := s.MaxEscalations
 	if maxEsc == 0 {
 		maxEsc = 3
+	}
+	opts := s.Options
+	if ctx.Done() != nil {
+		opts.Cancel = ctx.Err
 	}
 	mBound := s.BigM
 	if mBound <= 0 {
@@ -185,7 +220,7 @@ func (s *MILPSolver) solveSystem(sys *System, forced map[Item]float64, db *relat
 		if err != nil {
 			return nil, err
 		}
-		sol, err := milp.Solve(comp.Model, s.Options)
+		sol, err := milp.Solve(comp.Model, opts)
 		if err != nil {
 			return nil, err
 		}

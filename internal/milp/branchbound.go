@@ -17,6 +17,11 @@ type MILPOptions struct {
 	IntTol float64
 	// DisableRounding turns off the LP-rounding incumbent heuristic.
 	DisableRounding bool
+	// Cancel, when non-nil, is polled once per branch-and-bound node (and
+	// once before a pure-LP dispatch); a non-nil return aborts the solve
+	// with that error. Callers plumb context cancellation through it as
+	// ctx.Err, so deadline and cancellation semantics survive unwrapped.
+	Cancel func() error
 }
 
 func (o MILPOptions) withDefaults() MILPOptions {
@@ -74,6 +79,11 @@ func Solve(m *Model, opt MILPOptions) (*MILPResult, error) {
 	opt = opt.withDefaults()
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	if opt.Cancel != nil {
+		if err := opt.Cancel(); err != nil {
+			return nil, err
+		}
 	}
 	if !m.HasIntegers() {
 		lp, err := SolveLP(m, opt.Simplex)
@@ -138,6 +148,11 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 	heap.Init(queue)
 
 	for queue.Len() > 0 {
+		if opt.Cancel != nil {
+			if err := opt.Cancel(); err != nil {
+				return nil, err
+			}
+		}
 		if res.Nodes >= opt.MaxNodes {
 			res.Status = StatusIterLimit
 			break

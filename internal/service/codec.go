@@ -1,0 +1,344 @@
+// Package service turns the one-shot dart.Pipeline into a long-running,
+// concurrent document-repair server: a bounded job queue fans submitted
+// documents out over a worker pool, each job runs Acquire→Repair under a
+// per-job deadline with bounded retries, and an HTTP API exposes
+// submission, polling, listing, health, and Prometheus-format metrics.
+// Everything is stdlib-only, matching the repository's zero-dependency
+// constraint.
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"dart"
+	"dart/internal/relational"
+)
+
+// ValueJSON is the wire form of one typed relational value: the domain tag
+// plus a JSON number (Z, R) or string (S).
+type ValueJSON struct {
+	Domain string `json:"domain"`
+	Value  any    `json:"value"`
+}
+
+// encodeValue converts a relational value to its wire form.
+func encodeValue(v relational.Value) ValueJSON {
+	switch v.Kind() {
+	case relational.DomainInt:
+		return ValueJSON{Domain: "Z", Value: v.AsInt()}
+	case relational.DomainReal:
+		return ValueJSON{Domain: "R", Value: v.AsFloat()}
+	default:
+		return ValueJSON{Domain: "S", Value: v.AsString()}
+	}
+}
+
+// decodeValue parses a wire value back into a typed relational value.
+func decodeValue(v ValueJSON) (relational.Value, error) {
+	dom, err := relational.ParseDomain(v.Domain)
+	if err != nil {
+		return relational.Value{}, err
+	}
+	switch dom {
+	case relational.DomainString:
+		s, ok := v.Value.(string)
+		if !ok {
+			return relational.Value{}, fmt.Errorf("service: S value is %T, want string", v.Value)
+		}
+		return relational.String(s), nil
+	default:
+		f, err := asFloat(v.Value)
+		if err != nil {
+			return relational.Value{}, err
+		}
+		return relational.FromFloat(f, dom)
+	}
+}
+
+// asFloat accepts the numeric types encoding/json produces.
+func asFloat(v any) (float64, error) {
+	switch n := v.(type) {
+	case float64:
+		return n, nil
+	case int64:
+		return float64(n), nil
+	case int:
+		return float64(n), nil
+	default:
+		return 0, fmt.Errorf("service: numeric value is %T", v)
+	}
+}
+
+// AttributeJSON is one attribute of a relational scheme.
+type AttributeJSON struct {
+	Name   string `json:"name"`
+	Domain string `json:"domain"`
+}
+
+// RelationJSON is the wire form of one relation: its scheme plus the tuples
+// in insertion order. TupleIDs carries the relation-local identifiers the
+// repair machinery addresses, parallel to Tuples.
+type RelationJSON struct {
+	Name       string      `json:"name"`
+	Attributes []AttributeJSON `json:"attributes"`
+	TupleIDs   []int       `json:"tuple_ids,omitempty"`
+	Tuples     [][]ValueJSON `json:"tuples,omitempty"`
+}
+
+// DatabaseJSON is the wire form of a database instance. Measures lists the
+// designated measure attributes as "Relation.Attribute".
+type DatabaseJSON struct {
+	Relations []RelationJSON `json:"relations"`
+	Measures  []string       `json:"measures,omitempty"`
+}
+
+// EncodeDatabase converts a database instance to its wire form.
+func EncodeDatabase(db *relational.Database) *DatabaseJSON {
+	if db == nil {
+		return nil
+	}
+	out := &DatabaseJSON{}
+	for _, name := range db.RelationNames() {
+		rel := db.Relation(name)
+		rj := RelationJSON{Name: name}
+		for _, a := range rel.Schema().Attributes() {
+			rj.Attributes = append(rj.Attributes, AttributeJSON{Name: a.Name, Domain: a.Domain.String()})
+		}
+		for _, t := range rel.Tuples() {
+			row := make([]ValueJSON, 0, rel.Schema().Arity())
+			for i := 0; i < rel.Schema().Arity(); i++ {
+				row = append(row, encodeValue(t.At(i)))
+			}
+			rj.TupleIDs = append(rj.TupleIDs, t.ID())
+			rj.Tuples = append(rj.Tuples, row)
+		}
+		out.Relations = append(out.Relations, rj)
+	}
+	for _, m := range db.Measures() {
+		out.Measures = append(out.Measures, m.Relation+"."+m.Attribute)
+	}
+	return out
+}
+
+// DecodeDatabase reconstructs a database instance from its wire form. The
+// tuple identifiers of the wire form must match insertion order (they
+// always do for databases this package encoded).
+func DecodeDatabase(dj *DatabaseJSON) (*relational.Database, error) {
+	if dj == nil {
+		return nil, nil
+	}
+	db := relational.NewDatabase()
+	for _, rj := range dj.Relations {
+		attrs := make([]relational.Attribute, 0, len(rj.Attributes))
+		for _, a := range rj.Attributes {
+			dom, err := relational.ParseDomain(a.Domain)
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, relational.Attribute{Name: a.Name, Domain: dom})
+		}
+		schema, err := relational.NewSchema(rj.Name, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := db.AddRelation(schema)
+		if err != nil {
+			return nil, err
+		}
+		for ti, row := range rj.Tuples {
+			vals := make([]relational.Value, 0, len(row))
+			for _, vj := range row {
+				v, err := decodeValue(vj)
+				if err != nil {
+					return nil, fmt.Errorf("service: relation %s tuple %d: %w", rj.Name, ti, err)
+				}
+				vals = append(vals, v)
+			}
+			t, err := rel.Insert(vals...)
+			if err != nil {
+				return nil, err
+			}
+			if ti < len(rj.TupleIDs) && rj.TupleIDs[ti] != t.ID() {
+				return nil, fmt.Errorf("service: relation %s tuple %d has wire id %d, insertion assigned %d",
+					rj.Name, ti, rj.TupleIDs[ti], t.ID())
+			}
+		}
+	}
+	for _, m := range dj.Measures {
+		i := lastDot(m)
+		if i < 0 {
+			return nil, fmt.Errorf("service: bad measure ref %q (want Relation.Attribute)", m)
+		}
+		if err := db.DesignateMeasure(m[:i], m[i+1:]); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// lastDot returns the index of the final '.' in s, or -1.
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// ItemJSON addresses one database value on the wire.
+type ItemJSON struct {
+	Relation string `json:"relation"`
+	Tuple    int    `json:"tuple"`
+	Attr     string `json:"attr"`
+}
+
+// UpdateJSON is one atomic value update on the wire.
+type UpdateJSON struct {
+	Item ItemJSON  `json:"item"`
+	Old  ValueJSON `json:"old"`
+	New  ValueJSON `json:"new"`
+}
+
+// RepairJSON is the wire form of a repair.
+type RepairJSON struct {
+	Card    int          `json:"card"`
+	Updates []UpdateJSON `json:"updates,omitempty"`
+}
+
+// EncodeRepair converts a repair to its wire form.
+func EncodeRepair(r *dart.Repair) *RepairJSON {
+	if r == nil {
+		return nil
+	}
+	out := &RepairJSON{Card: r.Card()}
+	for _, u := range r.Updates {
+		out.Updates = append(out.Updates, UpdateJSON{
+			Item: ItemJSON{Relation: u.Item.Relation, Tuple: u.Item.TupleID, Attr: u.Item.Attr},
+			Old:  encodeValue(u.Old),
+			New:  encodeValue(u.New),
+		})
+	}
+	return out
+}
+
+// DecodeRepair reconstructs a repair from its wire form.
+func DecodeRepair(rj *RepairJSON) (*dart.Repair, error) {
+	if rj == nil {
+		return nil, nil
+	}
+	out := &dart.Repair{}
+	for _, uj := range rj.Updates {
+		oldV, err := decodeValue(uj.Old)
+		if err != nil {
+			return nil, err
+		}
+		newV, err := decodeValue(uj.New)
+		if err != nil {
+			return nil, err
+		}
+		out.Updates = append(out.Updates, dart.Update{
+			Item: dart.Item{Relation: uj.Item.Relation, TupleID: uj.Item.Tuple, Attr: uj.Item.Attr},
+			Old:  oldV,
+			New:  newV,
+		})
+	}
+	return out, nil
+}
+
+// ViolationJSON is one unsatisfied ground constraint on the wire: the
+// rendered ground constraint plus its left-hand-side value.
+type ViolationJSON struct {
+	Ground string  `json:"ground"`
+	LHS    float64 `json:"lhs"`
+}
+
+// EncodeViolations converts violations to their wire form. NaN and ±Inf
+// left-hand sides (which encoding/json rejects) are clamped to 0 with the
+// ground text left authoritative.
+func EncodeViolations(vs []dart.Violation) []ViolationJSON {
+	out := make([]ViolationJSON, 0, len(vs))
+	for _, v := range vs {
+		lhs := v.LHS
+		if math.IsNaN(lhs) || math.IsInf(lhs, 0) {
+			lhs = 0
+		}
+		out = append(out, ViolationJSON{Ground: v.Ground.String(), LHS: lhs})
+	}
+	return out
+}
+
+// SkippedJSON is one unmatched document row on the wire.
+type SkippedJSON struct {
+	Table     int     `json:"table"`
+	Row       int     `json:"row"`
+	BestScore float64 `json:"best_score"`
+	Text      string  `json:"text"`
+}
+
+// StringRepairJSON is one wrapper-level dictionary correction on the wire.
+type StringRepairJSON struct {
+	Table int     `json:"table"`
+	Row   int     `json:"row"`
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+	Score float64 `json:"score"`
+}
+
+// AcquisitionJSON is the wire form of an acquisition module outcome.
+type AcquisitionJSON struct {
+	Instances     int                `json:"instances"`
+	Consistent    bool               `json:"consistent"`
+	SkippedRows   []SkippedJSON      `json:"skipped_rows,omitempty"`
+	RowErrors     []string           `json:"row_errors,omitempty"`
+	StringRepairs []StringRepairJSON `json:"string_repairs,omitempty"`
+	Violations    []ViolationJSON    `json:"violations,omitempty"`
+	Database      *DatabaseJSON      `json:"database,omitempty"`
+}
+
+// EncodeAcquisition converts an acquisition to its wire form.
+func EncodeAcquisition(a *dart.Acquisition) *AcquisitionJSON {
+	if a == nil {
+		return nil
+	}
+	out := &AcquisitionJSON{
+		Instances:  len(a.Instances),
+		Consistent: a.Consistent(),
+		Violations: EncodeViolations(a.Violations),
+		Database:   EncodeDatabase(a.Database),
+	}
+	for _, s := range a.SkippedRows {
+		out.SkippedRows = append(out.SkippedRows, SkippedJSON{
+			Table: s.Table, Row: s.Row, BestScore: s.BestScore, Text: s.Text,
+		})
+	}
+	for _, e := range a.RowErrors {
+		out.RowErrors = append(out.RowErrors, e.Error())
+	}
+	for _, c := range a.StringRepairs {
+		out.StringRepairs = append(out.StringRepairs, StringRepairJSON{
+			Table: c.Table, Row: c.Row, From: c.From, To: c.To, Score: c.Score,
+		})
+	}
+	return out
+}
+
+// ResultJSON is the wire form of a completed pipeline run.
+type ResultJSON struct {
+	Acquisition *AcquisitionJSON `json:"acquisition,omitempty"`
+	Repair      *RepairJSON      `json:"repair,omitempty"`
+	Repaired    *DatabaseJSON    `json:"repaired,omitempty"`
+}
+
+// EncodeResult converts a pipeline result to its wire form.
+func EncodeResult(r *dart.Result) *ResultJSON {
+	if r == nil {
+		return nil
+	}
+	return &ResultJSON{
+		Acquisition: EncodeAcquisition(r.Acquisition),
+		Repair:      EncodeRepair(r.Repair),
+		Repaired:    EncodeDatabase(r.Repaired),
+	}
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dart"
+	"dart/internal/relational"
+	"dart/internal/runningex"
+	"dart/internal/scenario"
+)
+
+// TestDatabaseRoundTrip encodes the running example's acquired database to
+// JSON bytes and reconstructs an identical instance.
+func TestDatabaseRoundTrip(t *testing.T) {
+	db := runningex.AcquiredDatabase()
+	enc := EncodeDatabase(db)
+	raw, err := json.Marshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DatabaseJSON
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDatabase(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != db.String() {
+		t.Errorf("decoded database differs:\n%s\nwant:\n%s", got, db)
+	}
+	if len(got.Measures()) != len(db.Measures()) {
+		t.Errorf("measures = %v, want %v", got.Measures(), db.Measures())
+	}
+	for i, m := range got.Measures() {
+		if db.Measures()[i] != m {
+			t.Errorf("measure %d = %v, want %v", i, m, db.Measures()[i])
+		}
+	}
+}
+
+// TestRepairRoundTrip pushes a repair through JSON and back, then applies
+// the decoded repair to verify it still addresses the database.
+func TestRepairRoundTrip(t *testing.T) {
+	db := runningex.AcquiredDatabase()
+	rep := &dart.Repair{Updates: []dart.Update{{
+		Item: dart.Item{Relation: "CashBudget", TupleID: 3, Attr: "Value"},
+		Old:  relational.Int(250),
+		New:  relational.Int(220),
+	}}}
+	raw, err := json.Marshal(EncodeRepair(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rj RepairJSON
+	if err := json.Unmarshal(raw, &rj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRepair(&rj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card() != 1 || got.Updates[0] != rep.Updates[0] {
+		t.Fatalf("decoded repair = %v, want %v", got, rep)
+	}
+	if _, err := got.Applied(db); err != nil {
+		t.Errorf("decoded repair does not apply: %v", err)
+	}
+}
+
+// TestEncodeResultEndToEnd runs the real pipeline on the running example
+// with the paper's error and checks the wire form carries the essentials.
+func TestEncodeResultEndToEnd(t *testing.T) {
+	md, err := scenario.CashBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &dart.Pipeline{Metadata: md}
+	res, err := p.Process(runningExampleErrorHTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeResult(res)
+	if enc.Acquisition == nil || enc.Acquisition.Consistent {
+		t.Fatalf("acquisition = %+v, want inconsistent", enc.Acquisition)
+	}
+	if len(enc.Acquisition.Violations) != 2 {
+		t.Errorf("violations = %d, want 2", len(enc.Acquisition.Violations))
+	}
+	if enc.Repair == nil || enc.Repair.Card != 1 {
+		t.Fatalf("repair = %+v, want card 1", enc.Repair)
+	}
+	u := enc.Repair.Updates[0]
+	if u.Old.Value != int64(250) || u.New.Value != int64(220) {
+		t.Errorf("update = %+v, want 250 -> 220", u)
+	}
+	if enc.Repaired == nil || len(enc.Repaired.Relations) != 1 {
+		t.Fatalf("repaired = %+v", enc.Repaired)
+	}
+	// The whole result must be wire-representable.
+	if _, err := json.Marshal(enc); err != nil {
+		t.Errorf("result not marshalable: %v", err)
+	}
+}
+
+// TestDecodeValueErrors exercises the codec's malformed-input paths.
+func TestDecodeValueErrors(t *testing.T) {
+	if _, err := decodeValue(ValueJSON{Domain: "X", Value: 1}); err == nil {
+		t.Error("unknown domain should fail")
+	}
+	if _, err := decodeValue(ValueJSON{Domain: "Z", Value: "nope"}); err == nil {
+		t.Error("string payload for Z should fail")
+	}
+	if _, err := decodeValue(ValueJSON{Domain: "S", Value: 3.0}); err == nil {
+		t.Error("numeric payload for S should fail")
+	}
+	if _, err := DecodeDatabase(&DatabaseJSON{Measures: []string{"noDot"}}); err == nil {
+		t.Error("bad measure ref should fail")
+	}
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies (documents are page-sized; 8 MiB is
+// generous).
+const maxBodyBytes = 8 << 20
+
+// routes registers the HTTP API on the server's mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError emits one JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts one job: it validates the spec eagerly (so malformed
+// scenarios and metadata fail at submission, not in a worker) and enqueues.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed job spec: %v", err)
+		return
+	}
+	if spec.Document == "" {
+		writeError(w, http.StatusBadRequest, "job spec needs a document")
+		return
+	}
+	if _, err := ResolveMetadata(spec); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := resolveSolver(spec.Solver); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	view, err := s.queue.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.metrics.JobSubmitted()
+	w.Header().Set("Location", "/v1/jobs/"+view.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// handleList returns every job, results omitted.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.queue.List()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":  jobs,
+		"count": len(jobs),
+	})
+}
+
+// handleGet returns one job with its result.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.pool.workerCount(),
+		"queued":  s.queue.Depth(),
+	})
+}
+
+// handleMetrics exposes the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}

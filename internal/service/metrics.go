@@ -1,0 +1,207 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// histBuckets are the latency histogram upper bounds in seconds,
+// exponential from 0.5ms to 60s.
+var histBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts []uint64 // parallel to histBuckets
+	sum    float64
+	count  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(histBuckets))}
+}
+
+func (h *histogram) observe(seconds float64) {
+	for i, ub := range histBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// write emits the histogram in Prometheus cumulative-bucket text format.
+func (h *histogram) write(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, ub := range histBuckets {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep,
+			strconv.FormatFloat(ub, 'g', -1, 64), h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	}
+}
+
+// Metrics is the service's in-process metrics registry: job counters by
+// terminal state, per-stage pipeline latency histograms (it implements
+// dart.StageObserver), whole-job latency, queue depth, retries, violations
+// found, and repair cardinality. Exposed by GET /metrics in Prometheus text
+// format.
+type Metrics struct {
+	mu          sync.Mutex
+	submitted   uint64
+	finished    map[JobState]uint64
+	retries     uint64
+	violations  uint64
+	updates     uint64
+	stages      map[string]*histogram
+	jobSeconds  *histogram
+	queueDepth  func() int
+	workerCount int
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		finished:   make(map[JobState]uint64),
+		stages:     make(map[string]*histogram),
+		jobSeconds: newHistogram(),
+	}
+}
+
+// ObserveStage implements dart.StageObserver: it records one pipeline-stage
+// latency ("convert", "wrapper", "dbgen", "check", "solver").
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.stages[stage]
+	if h == nil {
+		h = newHistogram()
+		m.stages[stage] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// JobSubmitted counts one accepted submission.
+func (m *Metrics) JobSubmitted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted++
+}
+
+// JobFinished counts one terminal job and its latency and repair outcome.
+func (m *Metrics) JobFinished(state JobState, d time.Duration, res *ResultJSON) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished[state]++
+	m.jobSeconds.observe(d.Seconds())
+	if res != nil {
+		if res.Acquisition != nil {
+			m.violations += uint64(len(res.Acquisition.Violations))
+		}
+		if res.Repair != nil {
+			m.updates += uint64(res.Repair.Card)
+		}
+	}
+}
+
+// Retry counts one retried attempt.
+func (m *Metrics) Retry() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retries++
+}
+
+// Bind attaches the live gauges (queue depth, worker count) the registry
+// samples at exposition time.
+func (m *Metrics) Bind(queueDepth func() int, workers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth = queueDepth
+	m.workerCount = workers
+}
+
+// Snapshot returns the submitted and per-terminal-state finished counters;
+// tests use it to cross-check /metrics against job store contents.
+func (m *Metrics) Snapshot() (submitted uint64, finished map[JobState]uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	finished = make(map[JobState]uint64, len(m.finished))
+	for k, v := range m.finished {
+		finished[k] = v
+	}
+	return m.submitted, finished
+}
+
+// WritePrometheus emits the whole registry in Prometheus text exposition
+// format, deterministically ordered.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP dartd_jobs_submitted_total Jobs accepted for processing.")
+	fmt.Fprintln(w, "# TYPE dartd_jobs_submitted_total counter")
+	fmt.Fprintf(w, "dartd_jobs_submitted_total %d\n", m.submitted)
+
+	fmt.Fprintln(w, "# HELP dartd_jobs_total Jobs finished, by terminal state.")
+	fmt.Fprintln(w, "# TYPE dartd_jobs_total counter")
+	for _, s := range JobStates {
+		if !s.Terminal() {
+			continue
+		}
+		fmt.Fprintf(w, "dartd_jobs_total{state=%q} %d\n", string(s), m.finished[s])
+	}
+
+	fmt.Fprintln(w, "# HELP dartd_job_retries_total Job attempts retried after transient failures.")
+	fmt.Fprintln(w, "# TYPE dartd_job_retries_total counter")
+	fmt.Fprintf(w, "dartd_job_retries_total %d\n", m.retries)
+
+	fmt.Fprintln(w, "# HELP dartd_violations_found_total Ground constraint violations detected across jobs.")
+	fmt.Fprintln(w, "# TYPE dartd_violations_found_total counter")
+	fmt.Fprintf(w, "dartd_violations_found_total %d\n", m.violations)
+
+	fmt.Fprintln(w, "# HELP dartd_repair_updates_total Atomic updates across computed repairs (summed cardinality).")
+	fmt.Fprintln(w, "# TYPE dartd_repair_updates_total counter")
+	fmt.Fprintf(w, "dartd_repair_updates_total %d\n", m.updates)
+
+	if m.queueDepth != nil {
+		fmt.Fprintln(w, "# HELP dartd_queue_depth Jobs waiting for a worker.")
+		fmt.Fprintln(w, "# TYPE dartd_queue_depth gauge")
+		fmt.Fprintf(w, "dartd_queue_depth %d\n", m.queueDepth())
+	}
+	if m.workerCount > 0 {
+		fmt.Fprintln(w, "# HELP dartd_workers Configured worker count.")
+		fmt.Fprintln(w, "# TYPE dartd_workers gauge")
+		fmt.Fprintf(w, "dartd_workers %d\n", m.workerCount)
+	}
+
+	fmt.Fprintln(w, "# HELP dartd_stage_seconds Pipeline stage latency, by stage.")
+	fmt.Fprintln(w, "# TYPE dartd_stage_seconds histogram")
+	stages := make([]string, 0, len(m.stages))
+	for s := range m.stages {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		m.stages[s].write(w, "dartd_stage_seconds", fmt.Sprintf("stage=%q", s))
+	}
+
+	fmt.Fprintln(w, "# HELP dartd_job_seconds Whole-job latency (queue wait excluded).")
+	fmt.Fprintln(w, "# TYPE dartd_job_seconds histogram")
+	m.jobSeconds.write(w, "dartd_job_seconds", "")
+}

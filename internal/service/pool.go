@@ -1,0 +1,266 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"dart"
+	"dart/internal/core"
+	"dart/internal/metadata"
+	"dart/internal/scenario"
+)
+
+// Runner processes one job spec to a wire result. The default is
+// PipelineRunner; tests inject slow or flaky runners.
+type Runner func(ctx context.Context, spec JobSpec) (*ResultJSON, error)
+
+// transientError marks an error worth retrying (a failure the pool may
+// recover from by re-running the attempt).
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the pool retries it (with backoff, up to the
+// attempt bound).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// Pool runs jobs from a Queue over a fixed set of workers. Each job gets a
+// per-job context deadline, bounded retries with exponential backoff for
+// transient failures, and a terminal state recorded in the queue's store.
+type Pool struct {
+	// Queue supplies the jobs (required).
+	Queue *Queue
+	// Workers is the worker count; 0 scales with GOMAXPROCS.
+	Workers int
+	// Run processes one job (default PipelineRunner(Metrics)).
+	Run Runner
+	// Metrics receives counters and latencies (optional).
+	Metrics *Metrics
+	// JobTimeout is the default per-job deadline (default 60s); a job's
+	// TimeoutMS overrides it.
+	JobTimeout time.Duration
+	// MaxAttempts bounds runs per job including the first (default 3).
+	MaxAttempts int
+	// Backoff is the first retry delay, doubled per attempt (default 50ms).
+	Backoff time.Duration
+
+	wg      sync.WaitGroup
+	ctx     context.Context
+	cancel  context.CancelFunc
+	started bool
+}
+
+// workerCount resolves the configured worker count.
+func (p *Pool) workerCount() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Start launches the workers. It must be called once.
+func (p *Pool) Start() {
+	if p.started {
+		panic("service: pool started twice")
+	}
+	p.started = true
+	if p.Run == nil {
+		p.Run = PipelineRunner(p.Metrics)
+	}
+	p.ctx, p.cancel = context.WithCancel(context.Background())
+	for i := 0; i < p.workerCount(); i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.Queue.ch {
+				p.runJob(job)
+			}
+		}()
+	}
+}
+
+// Shutdown drains gracefully: the queue stops accepting submissions,
+// workers finish the backlog, and Shutdown returns when they exit. If ctx
+// expires first, in-flight job contexts are cancelled and Shutdown returns
+// ctx.Err() once the workers wind down.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.Queue.Close()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		p.cancel()
+		return nil
+	case <-ctx.Done():
+		p.cancel() // abort in-flight solves
+		<-done
+		return ctx.Err()
+	}
+}
+
+// jobTimeout resolves the deadline for one spec.
+func (p *Pool) jobTimeout(spec JobSpec) time.Duration {
+	if spec.TimeoutMS > 0 {
+		return time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	if p.JobTimeout > 0 {
+		return p.JobTimeout
+	}
+	return 60 * time.Second
+}
+
+// runJob drives one job to a terminal state.
+func (p *Pool) runJob(job *Job) {
+	ctx, cancel := context.WithTimeout(p.ctx, p.jobTimeout(job.Spec))
+	defer cancel()
+
+	maxAttempts := p.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	backoff := p.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+
+	start := time.Now()
+	var res *ResultJSON
+	var err error
+	for attempt := 1; ; attempt++ {
+		p.Queue.setRunning(job)
+		res, err = p.Run(ctx, job.Spec)
+		if err == nil || !IsTransient(err) || attempt >= maxAttempts || ctx.Err() != nil {
+			break
+		}
+		if p.Metrics != nil {
+			p.Metrics.Retry()
+		}
+		if !sleepCtx(ctx, backoff) {
+			break
+		}
+		backoff *= 2
+	}
+
+	state := StateSucceeded
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded), ctx.Err() == context.DeadlineExceeded:
+		state = StateDeadlineExceeded
+	case errors.Is(err, context.Canceled) && p.ctx.Err() != nil:
+		// Forced shutdown cancelled the in-flight solve.
+		state = StateFailed
+		err = fmt.Errorf("service: shutdown aborted job: %w", err)
+	default:
+		state = StateFailed
+	}
+	p.Queue.finish(job, state, res, err)
+	if p.Metrics != nil {
+		p.Metrics.JobFinished(state, time.Since(start), res)
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ResolveMetadata turns a job spec into parsed designer metadata: inline
+// metadata wins, otherwise the named built-in scenario.
+func ResolveMetadata(spec JobSpec) (*metadata.Metadata, error) {
+	if spec.Metadata != "" {
+		return metadata.Parse(spec.Metadata)
+	}
+	switch spec.Scenario {
+	case "", "cashbudget":
+		return scenario.CashBudget()
+	case "catalog":
+		return scenario.Catalog()
+	case "balancesheet":
+		return scenario.BalanceSheet()
+	default:
+		return nil, fmt.Errorf("service: unknown scenario %q (want cashbudget, catalog or balancesheet)", spec.Scenario)
+	}
+}
+
+// resolveSolver maps a spec's solver name to an implementation.
+func resolveSolver(name string) (core.Solver, error) {
+	switch name {
+	case "", "milp":
+		return &core.MILPSolver{Formulation: core.FormulationReduced}, nil
+	case "milp-literal":
+		return &core.MILPSolver{Formulation: core.FormulationLiteral}, nil
+	case "cardsearch":
+		return &core.CardinalitySearchSolver{}, nil
+	case "greedy-aggregate":
+		return &core.GreedyAggregateSolver{}, nil
+	case "greedy-local":
+		return &core.GreedyLocalSolver{}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown solver %q", name)
+	}
+}
+
+// PipelineRunner returns the production Runner: it resolves the spec's
+// metadata and solver, runs Acquire→Repair under the job context, and
+// encodes the result for the wire. Solver iteration-limit failures are
+// marked transient — centralizing the retry classification here lets later
+// PRs escalate node budgets per attempt; everything else — parse errors,
+// infeasibility, context expiry — is permanent.
+func PipelineRunner(m *Metrics) Runner {
+	return func(ctx context.Context, spec JobSpec) (*ResultJSON, error) {
+		md, err := ResolveMetadata(spec)
+		if err != nil {
+			return nil, err
+		}
+		solver, err := resolveSolver(spec.Solver)
+		if err != nil {
+			return nil, err
+		}
+		p := &dart.Pipeline{Metadata: md, Solver: solver}
+		if m != nil {
+			p.Observer = m
+		}
+		res, err := p.ProcessContext(ctx, spec.Document)
+		if err != nil {
+			if isIterLimit(err) {
+				return nil, Transient(err)
+			}
+			return nil, err
+		}
+		return EncodeResult(res), nil
+	}
+}
+
+// isIterLimit detects the solver's node/iteration budget exhaustion, the
+// one failure mode re-running can plausibly fix.
+func isIterLimit(err error) bool {
+	return strings.Contains(err.Error(), "iteration-limit")
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startPool builds and starts a pool over a fresh queue with a test runner.
+func startPool(t *testing.T, workers int, cfg func(*Pool), run Runner) (*Queue, *Pool, *Metrics) {
+	t.Helper()
+	q := NewQueue(256)
+	m := NewMetrics()
+	p := &Pool{Queue: q, Workers: workers, Run: run, Metrics: m}
+	if cfg != nil {
+		cfg(p)
+	}
+	p.Start()
+	return q, p, m
+}
+
+// waitTerminal polls until the identified job reaches a terminal state.
+func waitTerminal(t *testing.T, q *Queue, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if v.State.Terminal() {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobView{}
+}
+
+// TestPoolRunsJobs drives a handful of jobs through a trivial runner.
+func TestPoolRunsJobs(t *testing.T) {
+	q, p, _ := startPool(t, 4, nil, func(ctx context.Context, spec JobSpec) (*ResultJSON, error) {
+		return &ResultJSON{}, nil
+	})
+	defer p.Shutdown(context.Background())
+	var ids []string
+	for i := 0; i < 20; i++ {
+		v, err := q.Submit(JobSpec{Document: "x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		v := waitTerminal(t, q, id)
+		if v.State != StateSucceeded || v.Attempts != 1 {
+			t.Errorf("job %s: state=%s attempts=%d", id, v.State, v.Attempts)
+		}
+	}
+}
+
+// TestPoolDeadlineCancelsSlowJob submits a deliberately slow job with a
+// short per-job deadline: the worker must not hang, and the job must end
+// deadline_exceeded with a "deadline exceeded" error.
+func TestPoolDeadlineCancelsSlowJob(t *testing.T) {
+	q, p, _ := startPool(t, 1, nil, func(ctx context.Context, spec JobSpec) (*ResultJSON, error) {
+		if spec.Scenario == "slow" {
+			<-ctx.Done() // a slow solve: blocks until cancelled
+			return nil, ctx.Err()
+		}
+		return &ResultJSON{}, nil
+	})
+	defer p.Shutdown(context.Background())
+	v, err := q.Submit(JobSpec{Document: "x", Scenario: "slow", TimeoutMS: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, q, v.ID)
+	if got.State != StateDeadlineExceeded {
+		t.Fatalf("state = %s, want %s", got.State, StateDeadlineExceeded)
+	}
+	if !strings.Contains(got.Error, "deadline exceeded") {
+		t.Errorf("error = %q, want deadline exceeded", got.Error)
+	}
+	// The worker must be free again: a fast job completes.
+	v2, err := q.Submit(JobSpec{Document: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, q, v2.ID); got.State != StateSucceeded {
+		t.Errorf("second job state = %s, want succeeded (worker must not hang)", got.State)
+	}
+}
+
+// TestPoolRetriesTransientFailures checks both recovery after transient
+// failures and exhaustion of the attempt budget.
+func TestPoolRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	q, p, m := startPool(t, 1, func(p *Pool) {
+		p.MaxAttempts = 3
+		p.Backoff = time.Millisecond
+	}, func(ctx context.Context, spec JobSpec) (*ResultJSON, error) {
+		if calls.Add(1) < 3 {
+			return nil, Transient(errors.New("solver hiccup"))
+		}
+		return &ResultJSON{}, nil
+	})
+	defer p.Shutdown(context.Background())
+	v, err := q.Submit(JobSpec{Document: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, q, v.ID)
+	if got.State != StateSucceeded || got.Attempts != 3 {
+		t.Errorf("state=%s attempts=%d, want succeeded after 3", got.State, got.Attempts)
+	}
+	if _, fin := m.Snapshot(); fin[StateSucceeded] != 1 {
+		t.Errorf("metrics finished = %v", fin)
+	}
+}
+
+// TestPoolRetryExhaustion: a permanently transient failure fails after
+// MaxAttempts runs and counts MaxAttempts-1 retries.
+func TestPoolRetryExhaustion(t *testing.T) {
+	var calls atomic.Int64
+	q, p, _ := startPool(t, 1, func(p *Pool) {
+		p.MaxAttempts = 2
+		p.Backoff = time.Millisecond
+	}, func(ctx context.Context, spec JobSpec) (*ResultJSON, error) {
+		calls.Add(1)
+		return nil, Transient(errors.New("always down"))
+	})
+	defer p.Shutdown(context.Background())
+	v, err := q.Submit(JobSpec{Document: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, q, v.ID)
+	if got.State != StateFailed || got.Attempts != 2 || calls.Load() != 2 {
+		t.Errorf("state=%s attempts=%d calls=%d, want failed/2/2", got.State, got.Attempts, calls.Load())
+	}
+	if !strings.Contains(got.Error, "always down") {
+		t.Errorf("error = %q", got.Error)
+	}
+}
+
+// TestPoolPermanentErrorNotRetried: unmarked errors fail on the first run.
+func TestPoolPermanentErrorNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	q, p, _ := startPool(t, 1, nil, func(ctx context.Context, spec JobSpec) (*ResultJSON, error) {
+		calls.Add(1)
+		return nil, errors.New("bad metadata")
+	})
+	defer p.Shutdown(context.Background())
+	v, err := q.Submit(JobSpec{Document: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, q, v.ID)
+	if got.State != StateFailed || calls.Load() != 1 {
+		t.Errorf("state=%s calls=%d, want failed after 1", got.State, calls.Load())
+	}
+}
+
+// TestPoolGracefulDrain: shutdown finishes queued and in-flight jobs,
+// rejects new submissions, and returns once workers exit.
+func TestPoolGracefulDrain(t *testing.T) {
+	var done atomic.Int64
+	q, p, _ := startPool(t, 2, nil, func(ctx context.Context, spec JobSpec) (*ResultJSON, error) {
+		if !sleepCtx(ctx, 10*time.Millisecond) {
+			return nil, ctx.Err()
+		}
+		done.Add(1)
+		return &ResultJSON{}, nil
+	})
+	const n = 12
+	var ids []string
+	for i := 0; i < n; i++ {
+		v, err := q.Submit(JobSpec{Document: "x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if done.Load() != n {
+		t.Errorf("completed = %d, want %d (drain must finish the backlog)", done.Load(), n)
+	}
+	for _, id := range ids {
+		if v, _ := q.Get(id); v.State != StateSucceeded {
+			t.Errorf("job %s state = %s after drain", id, v.State)
+		}
+	}
+	if _, err := q.Submit(JobSpec{Document: "x"}); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after drain = %v, want ErrDraining", err)
+	}
+}
+
+// TestPoolForcedShutdown: an expired drain context cancels in-flight jobs
+// instead of hanging.
+func TestPoolForcedShutdown(t *testing.T) {
+	q, p, _ := startPool(t, 1, nil, func(ctx context.Context, spec JobSpec) (*ResultJSON, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	v, err := q.Submit(JobSpec{Document: "x", TimeoutMS: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown = %v, want deadline exceeded", err)
+	}
+	got, _ := q.Get(v.ID)
+	if !got.State.Terminal() {
+		t.Errorf("in-flight job state = %s, want terminal after forced shutdown", got.State)
+	}
+}
+
+// TestQueueFull: submissions beyond capacity fail with ErrQueueFull.
+func TestQueueFull(t *testing.T) {
+	q := NewQueue(2)
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(JobSpec{Document: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Submit(JobSpec{Document: "x"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle state of one submitted job.
+type JobState string
+
+const (
+	// StateQueued means the job is waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning means a worker is processing the job.
+	StateRunning JobState = "running"
+	// StateSucceeded means the job finished with a result.
+	StateSucceeded JobState = "succeeded"
+	// StateFailed means the job exhausted its attempts with an error.
+	StateFailed JobState = "failed"
+	// StateDeadlineExceeded means the per-job deadline cancelled the run.
+	StateDeadlineExceeded JobState = "deadline_exceeded"
+)
+
+// JobStates lists every state in lifecycle order; metrics iterate it so
+// zero-valued counters are still exposed.
+var JobStates = []JobState{StateQueued, StateRunning, StateSucceeded, StateFailed, StateDeadlineExceeded}
+
+// JobSpec is the submission payload of POST /v1/jobs.
+type JobSpec struct {
+	// Document is the input document (HTML or scan text; required).
+	Document string `json:"document"`
+	// Scenario names a built-in metadata bundle (cashbudget, catalog,
+	// balancesheet). Ignored when Metadata is set.
+	Scenario string `json:"scenario,omitempty"`
+	// Metadata is an inline designer metadata file.
+	Metadata string `json:"metadata,omitempty"`
+	// Solver selects the repair solver (default milp).
+	Solver string `json:"solver,omitempty"`
+	// TimeoutMS overrides the server's per-job deadline, in milliseconds.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Job is one unit of acquisition-and-repair work. All fields are guarded by
+// the owning Queue's mutex; read them through views.
+type Job struct {
+	ID          string
+	Spec        JobSpec
+	State       JobState
+	Attempts    int
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+	Error       string
+	Result      *ResultJSON
+}
+
+// JobView is a consistent JSON snapshot of one job.
+type JobView struct {
+	ID          string      `json:"id"`
+	State       JobState    `json:"state"`
+	Scenario    string      `json:"scenario,omitempty"`
+	Solver      string      `json:"solver,omitempty"`
+	Attempts    int         `json:"attempts"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Result      *ResultJSON `json:"result,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateDeadlineExceeded
+}
+
+var (
+	// ErrDraining rejects submissions after shutdown began (HTTP 503).
+	ErrDraining = errors.New("service: server is draining")
+	// ErrQueueFull rejects submissions exceeding the queue bound (HTTP 503).
+	ErrQueueFull = errors.New("service: job queue is full")
+)
+
+// Queue is the bounded job queue plus the job store: submissions append to
+// a buffered channel workers consume, and every job (pending or finished)
+// stays in the store for polling. Closing the queue rejects further
+// submissions but leaves already-queued jobs for the drain to finish.
+type Queue struct {
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	ch     chan *Job
+	closed bool
+	nextID int
+}
+
+// NewQueue creates a queue holding at most capacity pending jobs
+// (default 1024).
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Queue{
+		jobs: make(map[string]*Job),
+		ch:   make(chan *Job, capacity),
+	}
+}
+
+// Submit registers a new queued job. It fails with ErrDraining after Close
+// and ErrQueueFull when the pending bound is reached.
+func (q *Queue) Submit(spec JobSpec) (JobView, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return JobView{}, ErrDraining
+	}
+	q.nextID++
+	job := &Job{
+		ID:          fmt.Sprintf("job-%06d", q.nextID),
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: time.Now(),
+	}
+	select {
+	case q.ch <- job:
+	default:
+		q.nextID--
+		return JobView{}, ErrQueueFull
+	}
+	q.jobs[job.ID] = job
+	q.order = append(q.order, job.ID)
+	return viewLocked(job, false), nil
+}
+
+// Get returns a snapshot of the identified job, including its result.
+func (q *Queue) Get(id string) (JobView, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return viewLocked(job, true), true
+}
+
+// List returns snapshots of every job in submission order, without result
+// payloads (poll GET /v1/jobs/{id} for those).
+func (q *Queue) List() []JobView {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]JobView, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, viewLocked(q.jobs[id], false))
+	}
+	return out
+}
+
+// Depth returns the number of jobs waiting for a worker.
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// CountByState tallies jobs per state.
+func (q *Queue) CountByState() map[JobState]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[JobState]int, len(JobStates))
+	for _, job := range q.jobs {
+		out[job.State]++
+	}
+	return out
+}
+
+// Close stops accepting submissions and closes the worker channel so the
+// pool drains the backlog and exits. Idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.ch)
+}
+
+// setRunning transitions a job to running (one more attempt started).
+func (q *Queue) setRunning(job *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if job.State == StateQueued {
+		job.StartedAt = time.Now()
+	}
+	job.State = StateRunning
+	job.Attempts++
+}
+
+// finish records a job's terminal state.
+func (q *Queue) finish(job *Job, state JobState, result *ResultJSON, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job.State = state
+	job.FinishedAt = time.Now()
+	job.Result = result
+	if err != nil {
+		job.Error = err.Error()
+	}
+}
+
+// viewLocked snapshots a job; the caller holds q.mu.
+func viewLocked(job *Job, includeResult bool) JobView {
+	v := JobView{
+		ID:          job.ID,
+		State:       job.State,
+		Scenario:    job.Spec.Scenario,
+		Solver:      job.Spec.Solver,
+		Attempts:    job.Attempts,
+		SubmittedAt: job.SubmittedAt,
+		Error:       job.Error,
+	}
+	if !job.StartedAt.IsZero() {
+		t := job.StartedAt
+		v.StartedAt = &t
+	}
+	if !job.FinishedAt.IsZero() {
+		t := job.FinishedAt
+		v.FinishedAt = &t
+	}
+	if includeResult {
+		v.Result = job.Result
+	}
+	return v
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults: GOMAXPROCS
+// workers, a 1024-job queue, a 60s per-job deadline, 3 attempts.
+type Config struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueCapacity bounds pending jobs (0 = 1024).
+	QueueCapacity int
+	// JobTimeout is the default per-job deadline (0 = 60s).
+	JobTimeout time.Duration
+	// MaxAttempts bounds runs per job (0 = 3).
+	MaxAttempts int
+	// Backoff is the first retry delay (0 = 50ms).
+	Backoff time.Duration
+	// Runner overrides the job processor (tests; default PipelineRunner).
+	Runner Runner
+}
+
+// Server is the dartd service: queue + pool + metrics behind an HTTP API.
+//
+//	POST /v1/jobs       submit a document (202, JobView)
+//	GET  /v1/jobs       list jobs (results omitted)
+//	GET  /v1/jobs/{id}  one job, result included when terminal
+//	GET  /healthz       liveness; 503 while draining
+//	GET  /metrics       Prometheus text format
+type Server struct {
+	queue    *Queue
+	pool     *Pool
+	metrics  *Metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New wires a stopped server; call Start before serving.
+func New(cfg Config) *Server {
+	s := &Server{
+		queue:   NewQueue(cfg.QueueCapacity),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.pool = &Pool{
+		Queue:       s.queue,
+		Workers:     cfg.Workers,
+		Run:         cfg.Runner,
+		Metrics:     s.metrics,
+		JobTimeout:  cfg.JobTimeout,
+		MaxAttempts: cfg.MaxAttempts,
+		Backoff:     cfg.Backoff,
+	}
+	s.metrics.Bind(s.queue.Depth, s.pool.workerCount())
+	s.routes()
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() { s.pool.Start() }
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (benchmarks and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Queue exposes the job store (benchmarks and tests).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Shutdown drains gracefully: new submissions get 503 immediately, queued
+// and in-flight jobs finish, workers exit. If ctx expires first, in-flight
+// solves are cancelled and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.Shutdown(ctx)
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -11,6 +11,7 @@ package validate
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -109,6 +110,9 @@ type Session struct {
 	Constraints []*aggrcons.Constraint
 	Solver      core.Solver
 	Operator    Operator
+	// Context, when non-nil, bounds every repair computation of the loop;
+	// nil means context.Background().
+	Context context.Context
 	// ReviewPerIteration restarts the repair computation after validating
 	// this many updates per iteration; 0 reviews the whole proposed repair
 	// before re-solving (the paper notes re-starting "after validating only
@@ -150,6 +154,10 @@ func (s *Session) Run() (*Outcome, error) {
 	if maxIters == 0 {
 		maxIters = 100
 	}
+	ctx := s.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := &Outcome{Forced: map[core.Item]float64{}}
 	validated := map[core.Item]bool{}
 
@@ -168,7 +176,7 @@ func (s *Session) Run() (*Outcome, error) {
 
 	for out.Iterations < maxIters {
 		out.Iterations++
-		res, err := s.Solver.FindRepair(s.DB, s.Constraints, out.Forced)
+		res, err := core.FindRepairCtx(ctx, s.Solver, s.DB, s.Constraints, out.Forced)
 		if err != nil {
 			return nil, err
 		}
