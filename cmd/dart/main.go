@@ -96,11 +96,11 @@ func run() error {
 	}
 
 	if *showMILP || *lpFile != "" {
-		sys, err := core.BuildSystem(acq.Database, md.Constraints())
+		prob, err := core.Prepare(acq.Database, md.Constraints())
 		if err != nil {
 			return err
 		}
-		comp, err := core.Compile(sys, core.CompileOptions{Formulation: core.FormulationLiteral})
+		comp, err := core.Compile(prob.System(), core.CompileOptions{Formulation: core.FormulationLiteral})
 		if err != nil {
 			return err
 		}

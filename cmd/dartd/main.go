@@ -6,6 +6,7 @@
 //
 //	dartd [-addr :8080] [-workers N] [-queue 1024]
 //	      [-job-timeout 60s] [-attempts 3] [-drain-timeout 30s]
+//	      [-result-cache 256]
 //
 // API:
 //
@@ -48,14 +49,16 @@ func run() error {
 		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
 		attempts     = flag.Int("attempts", 3, "max runs per job (retries are attempts-1)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		resultCache  = flag.Int("result-cache", 256, "serve repeated (document, metadata, solver) submissions from an LRU of this many results; 0 disables")
 	)
 	flag.Parse()
 
 	srv := service.New(service.Config{
-		Workers:       *workers,
-		QueueCapacity: *queueCap,
-		JobTimeout:    *jobTimeout,
-		MaxAttempts:   *attempts,
+		Workers:         *workers,
+		QueueCapacity:   *queueCap,
+		JobTimeout:      *jobTimeout,
+		MaxAttempts:     *attempts,
+		ResultCacheSize: *resultCache,
 	})
 	srv.Start()
 

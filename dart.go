@@ -143,6 +143,11 @@ type Result struct {
 	Repaired *Database
 	// Validation reports the operator loop (nil without an Operator).
 	Validation *ValidationOutcome
+	// ComponentsSolved and ComponentsReused count component-level solver
+	// work: how many violated connected components were solved, and how
+	// many of those re-solves the prepared problem served from its memo
+	// without solver work (nonzero only in multi-iteration operator loops).
+	ComponentsSolved, ComponentsReused int
 }
 
 // Acquire runs the acquisition and extraction module: format detection and
@@ -212,6 +217,12 @@ func (p *Pipeline) Repair(acq *Acquisition) (*Result, error) {
 // RepairContext is Repair with a context: with a cancellation-aware solver
 // (the default MILP solver is one) a long solve aborts with ctx.Err() at
 // the next branch-and-bound node once ctx is done.
+//
+// The repair problem is prepared (grounded and decomposed) exactly once;
+// the solve — and, with an Operator, every iteration of the validation
+// loop — re-solves the prepared problem. The observer sees the one-time
+// "prepare" stage, a "resolve" stage per repair computation, and the
+// aggregate "solver" stage covering the whole repairing module.
 func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result, error) {
 	res := &Result{Acquisition: acq}
 	solver := p.Solver
@@ -224,12 +235,20 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 		return res, nil
 	}
 	if p.Operator == nil {
+		solverStart := time.Now()
 		start := time.Now()
-		r, err := core.FindRepairCtx(ctx, solver, acq.Database, p.Metadata.Constraints(), nil)
+		prob, err := core.Prepare(acq.Database, p.Metadata.Constraints())
 		if err != nil {
 			return nil, fmt.Errorf("dart: repair: %w", err)
 		}
-		p.observe("solver", start)
+		p.observe("prepare", start)
+		start = time.Now()
+		r, err := solver.SolveProblem(ctx, prob, nil)
+		if err != nil {
+			return nil, fmt.Errorf("dart: repair: %w", err)
+		}
+		p.observe("resolve", start)
+		p.observe("solver", solverStart)
 		if r.Repair == nil {
 			return nil, fmt.Errorf("dart: no repair found (status %v)", r.Status)
 		}
@@ -239,6 +258,8 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 		}
 		res.Repair = r.Repair
 		res.Repaired = repaired
+		res.ComponentsSolved = r.Components - r.ComponentsReused
+		res.ComponentsReused = r.ComponentsReused
 		return res, nil
 	}
 	session := &validate.Session{
@@ -249,6 +270,11 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 		Context:            ctx,
 		ReviewPerIteration: p.ReviewPerIteration,
 	}
+	if p.Observer != nil {
+		session.Observe = func(stage string, d time.Duration) {
+			p.Observer.ObserveStage(stage, d)
+		}
+	}
 	start := time.Now()
 	out, err := session.Run()
 	if err != nil {
@@ -258,6 +284,8 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 	res.Repair = out.Final
 	res.Repaired = out.Repaired
 	res.Validation = out
+	res.ComponentsSolved = out.ComponentsSolved
+	res.ComponentsReused = out.ComponentsReused
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -34,10 +35,20 @@ func (s *CardinalitySearchSolver) Name() string { return "card-search" }
 
 // FindRepair implements Solver.
 func (s *CardinalitySearchSolver) FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
-	sys, err := BuildSystem(db, acs)
+	prob, err := Prepare(db, acs)
 	if err != nil {
 		return nil, err
 	}
+	return s.SolveProblem(context.Background(), prob, forced)
+}
+
+// SolveProblem implements Solver: the search runs directly on the prepared
+// system, so re-solves under new pins pay no grounding cost.
+func (s *CardinalitySearchSolver) SolveProblem(ctx context.Context, prob *Problem, forced map[Item]float64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sys, db := prob.System(), prob.Database()
 	maxK := s.MaxK
 	if maxK == 0 {
 		maxK = 6
@@ -82,7 +93,7 @@ func (s *CardinalitySearchSolver) FindRepair(db *relational.Database, acs []*agg
 			res.Status = milp.StatusOptimal
 			res.Repair = repairFromValues(db, sys, solvedVals)
 			res.Card = res.Repair.Card()
-			if _, err := VerifyRepairs(db, acs, res.Repair, 1e-6); err != nil {
+			if err := prob.VerifyRepair(res.Repair, 1e-6); err != nil {
 				return nil, fmt.Errorf("core: cardinality-search solution failed verification: %w", err)
 			}
 			return res, nil

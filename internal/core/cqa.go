@@ -48,15 +48,24 @@ type EnumerateOptions struct {
 // granularity the validation interface needs ("which items might have to
 // change").
 func EnumerateMinimalRepairs(db *relational.Database, acs []*aggrcons.Constraint, opts EnumerateOptions) ([]*Repair, error) {
-	if opts.Limit == 0 {
-		opts.Limit = 64
-	}
-	sys, err := BuildSystem(db, acs)
+	prob, err := Prepare(db, acs)
 	if err != nil {
 		return nil, err
 	}
+	return prob.EnumerateMinimalRepairs(opts)
+}
+
+// EnumerateMinimalRepairs is the prepared-problem form of the package
+// function: enumeration runs on the already-grounded system and its cached
+// component decomposition, so the validation loop's reliability analysis
+// pays no per-iteration grounding cost.
+func (p *Problem) EnumerateMinimalRepairs(opts EnumerateOptions) ([]*Repair, error) {
+	if opts.Limit == 0 {
+		opts.Limit = 64
+	}
+	db := p.db
 	perComponent := [][]*Repair{}
-	for _, sub := range sys.Split() {
+	for _, sub := range p.Components() {
 		vals := append([]float64(nil), sub.V...)
 		for it, v := range opts.Forced {
 			if i := sub.IndexOf(it); i >= 0 {
@@ -194,11 +203,18 @@ type Reliability struct {
 // repairs). Items untouched by every repair are reliable at their current
 // value.
 func ReliableValues(db *relational.Database, acs []*aggrcons.Constraint, opts EnumerateOptions) ([]Reliability, error) {
-	sys, err := BuildSystem(db, acs)
+	prob, err := Prepare(db, acs)
 	if err != nil {
 		return nil, err
 	}
-	reps, err := EnumerateMinimalRepairs(db, acs, opts)
+	return prob.ReliableValues(opts)
+}
+
+// ReliableValues is the prepared-problem form of the package function: it
+// shares the grounded system with enumeration instead of grounding twice.
+func (p *Problem) ReliableValues(opts EnumerateOptions) ([]Reliability, error) {
+	sys := p.sys
+	reps, err := p.EnumerateMinimalRepairs(opts)
 	if err != nil {
 		return nil, err
 	}

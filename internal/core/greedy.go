@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -27,11 +28,8 @@ const (
 // iteration budget is spent. The result is a valid repair when it
 // converges, but carries no minimality guarantee — that contrast against
 // the MILP solver is experiment E6.
-func greedySolve(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64, pick greedyPick, maxIters int) (*Result, error) {
-	sys, err := BuildSystem(db, acs)
-	if err != nil {
-		return nil, err
-	}
+func greedySolve(prob *Problem, forced map[Item]float64, pick greedyPick, maxIters int) (*Result, error) {
+	sys, db := prob.System(), prob.Database()
 	if maxIters == 0 {
 		maxIters = 200
 	}
@@ -43,7 +41,7 @@ func greedySolve(db *relational.Database, acs []*aggrcons.Constraint, forced map
 			frozen[i] = true
 		}
 	}
-	occ := sys.Occurrences()
+	occ := prob.Occurrences()
 	res := &Result{}
 	prevPick := -1 // avoid immediate ping-pong on items shared by two rows
 
@@ -54,7 +52,7 @@ func greedySolve(db *relational.Database, acs []*aggrcons.Constraint, forced map
 			res.Repair = repairFromValues(db, sys, vals)
 			res.Card = res.Repair.Card()
 			res.Iterations = iter
-			if _, err := VerifyRepairs(db, acs, res.Repair, 1e-6); err != nil {
+			if err := prob.VerifyRepair(res.Repair, 1e-6); err != nil {
 				return nil, err
 			}
 			return res, nil
@@ -134,7 +132,19 @@ func (s *GreedyLocalSolver) Name() string { return "greedy-local" }
 
 // FindRepair implements Solver.
 func (s *GreedyLocalSolver) FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
-	return greedySolve(db, acs, forced, pickRarest, s.MaxIters)
+	prob, err := Prepare(db, acs)
+	if err != nil {
+		return nil, err
+	}
+	return greedySolve(prob, forced, pickRarest, s.MaxIters)
+}
+
+// SolveProblem implements Solver on the prepared system.
+func (s *GreedyLocalSolver) SolveProblem(ctx context.Context, prob *Problem, forced map[Item]float64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return greedySolve(prob, forced, pickRarest, s.MaxIters)
 }
 
 // GreedyAggregateSolver is a heuristic baseline that fixes each violated
@@ -151,5 +161,17 @@ func (s *GreedyAggregateSolver) Name() string { return "greedy-aggregate" }
 
 // FindRepair implements Solver.
 func (s *GreedyAggregateSolver) FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
-	return greedySolve(db, acs, forced, pickCommonest, s.MaxIters)
+	prob, err := Prepare(db, acs)
+	if err != nil {
+		return nil, err
+	}
+	return greedySolve(prob, forced, pickCommonest, s.MaxIters)
+}
+
+// SolveProblem implements Solver on the prepared system.
+func (s *GreedyAggregateSolver) SolveProblem(ctx context.Context, prob *Problem, forced map[Item]float64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return greedySolve(prob, forced, pickCommonest, s.MaxIters)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"dart/internal/aggrcons"
@@ -25,45 +26,51 @@ type Result struct {
 	M float64
 	// Escalations counts how many times M had to be enlarged.
 	Escalations int
-	// Components counts the connected components actually solved (0 when
-	// decomposition is disabled).
+	// Components counts the violated connected components the solve had to
+	// resolve (0 when decomposition is disabled).
 	Components int
+	// ComponentsReused counts how many of those components were served from
+	// the prepared problem's memo instead of being solved again (always 0
+	// for from-scratch solves).
+	ComponentsReused int
 }
 
 // Solver computes repairs for databases violating steady aggregate
 // constraints. Implementations: MILPSolver (the paper's method),
 // CardinalitySearchSolver (exact alternative), GreedyLocalSolver and
 // GreedyAggregateSolver (heuristic baselines for the evaluation).
+//
+// The primary entry point is SolveProblem on a prepared Problem: grounding
+// happens once in Prepare, and every subsequent solve — with forced pins
+// from the validation loop applied as variable-bound updates — reuses the
+// grounded system and its component decomposition. FindRepair is the
+// one-shot compatibility shim that prepares and solves in a single call.
 type Solver interface {
 	// Name identifies the solver in benchmark reports.
 	Name() string
-	// FindRepair computes a repair of db w.r.t. acs. Forced pins items to
-	// operator-supplied values (may be nil).
+	// SolveProblem computes a repair of the prepared problem. Forced pins
+	// items to operator-supplied values (may be nil). Implementations honor
+	// ctx at least with an up-front check; MILPSolver also polls it once
+	// per branch-and-bound node.
+	SolveProblem(ctx context.Context, prob *Problem, forced map[Item]float64) (*Result, error)
+	// FindRepair computes a repair of db w.r.t. acs from scratch: it
+	// prepares a fresh problem and solves it once.
 	FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error)
 }
 
-// ContextSolver is implemented by solvers whose repair computation honors
-// context cancellation and deadlines mid-solve. MILPSolver implements it by
-// polling the context once per branch-and-bound node.
-type ContextSolver interface {
-	Solver
-	// FindRepairContext is FindRepair with cooperative cancellation: it
-	// returns ctx.Err() (possibly wrapped) once ctx is done.
-	FindRepairContext(ctx context.Context, db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error)
-}
-
-// FindRepairCtx dispatches a repair computation with the best cancellation
-// support the solver offers: ContextSolver implementations are cancellable
-// mid-solve, plain Solvers are checked for an expired context up front and
-// then run to completion.
+// FindRepairCtx computes a repair from scratch under a context: it
+// prepares a fresh problem for (db, acs) and dispatches one SolveProblem.
+// Loops that re-solve under changing pins should Prepare once and call
+// SolveProblem directly instead, which skips re-grounding.
 func FindRepairCtx(ctx context.Context, s Solver, db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
-	if cs, ok := s.(ContextSolver); ok {
-		return cs.FindRepairContext(ctx, db, acs, forced)
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return s.FindRepair(db, acs, forced)
+	prob, err := Prepare(db, acs)
+	if err != nil {
+		return nil, err
+	}
+	return s.SolveProblem(ctx, prob, forced)
 }
 
 // MILPSolver computes a card-minimal repair by solving S*(AC) (Section 5).
@@ -89,28 +96,54 @@ type MILPSolver struct {
 	Workers int
 	// MaxEscalations bounds big-M escalation attempts (default 3).
 	MaxEscalations int
+	// DisableWarmStart turns off the warm-start cutoff derived from a
+	// prepared problem's previous solve of the same component (for
+	// benchmarking the effect; results are identical either way).
+	DisableWarmStart bool
 }
 
 // Name implements Solver.
 func (s *MILPSolver) Name() string { return "milp-" + s.Formulation.String() }
+
+// solverFingerprint keys the prepared problem's component memo: every
+// configuration field that can change a solve result participates.
+func (s *MILPSolver) solverFingerprint() string {
+	return s.Name() +
+		"|m=" + strconv.FormatFloat(s.BigM, 'g', -1, 64) +
+		"|cc=" + strconv.FormatBool(s.DisableCoverCuts) +
+		"|esc=" + strconv.Itoa(s.MaxEscalations) +
+		"|nodes=" + strconv.Itoa(s.Options.MaxNodes) +
+		"|tol=" + strconv.FormatFloat(s.Options.IntTol, 'g', -1, 64) +
+		"|round=" + strconv.FormatBool(s.Options.DisableRounding)
+}
 
 // FindRepair implements Solver.
 func (s *MILPSolver) FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
 	return s.FindRepairContext(context.Background(), db, acs, forced)
 }
 
-// FindRepairContext implements ContextSolver: the computation aborts with
-// ctx.Err() at the next branch-and-bound node once ctx is done.
+// FindRepairContext is FindRepair with cooperative cancellation: the
+// computation aborts with ctx.Err() at the next branch-and-bound node once
+// ctx is done.
 func (s *MILPSolver) FindRepairContext(ctx context.Context, db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
-	sys, err := BuildSystem(db, acs)
+	prob, err := Prepare(db, acs)
 	if err != nil {
 		return nil, err
 	}
+	return s.SolveProblem(ctx, prob, forced)
+}
+
+// SolveProblem implements Solver on a prepared problem: components whose
+// pin signature matches a previous solve are served from the memo, and
+// fresh component solves warm-start branch and bound from the previous
+// solution when it remains feasible under the new pins.
+func (s *MILPSolver) SolveProblem(ctx context.Context, prob *Problem, forced map[Item]float64) (*Result, error) {
 	var res *Result
+	var err error
 	if s.DisableDecomposition {
-		res, err = s.solveSystem(ctx, sys, forced, db)
+		res, err = s.solveSystem(ctx, prob.System(), forced, prob.Database(), nil)
 	} else {
-		res, err = s.solveDecomposed(ctx, sys, forced, db)
+		res, err = s.solvePrepared(ctx, prob, forced)
 	}
 	if err != nil {
 		return nil, err
@@ -119,7 +152,7 @@ func (s *MILPSolver) FindRepairContext(ctx context.Context, db *relational.Datab
 		res.Repair.Sort()
 		res.Card = res.Repair.Card()
 		if !s.SkipVerify {
-			if _, err := VerifyRepairs(db, acs, res.Repair, 1e-6); err != nil {
+			if err := prob.VerifyRepair(res.Repair, 1e-6); err != nil {
 				return nil, fmt.Errorf("core: MILP solution failed verification: %w", err)
 			}
 		}
@@ -127,12 +160,20 @@ func (s *MILPSolver) FindRepairContext(ctx context.Context, db *relational.Datab
 	return res, nil
 }
 
-// solveDecomposed splits the system into connected components and solves
-// only those containing violated rows, optionally in parallel.
-func (s *MILPSolver) solveDecomposed(ctx context.Context, sys *System, forced map[Item]float64, db *relational.Database) (*Result, error) {
+// solvePrepared walks the prepared problem's connected components and
+// solves only those containing violated rows, optionally in parallel.
+// Component solves are memoized on the problem keyed by the solver
+// configuration and the pins restricted to the component, so a validation
+// loop re-solves only the components its latest pins actually touch.
+func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced map[Item]float64) (*Result, error) {
+	fp := fingerprintOf(s)
 	total := &Result{Status: milp.StatusOptimal, Repair: &Repair{}}
-	var pending []*System
-	for _, sub := range sys.Split() {
+	type pendingComp struct {
+		ci  int
+		sub *System
+	}
+	var pending []pendingComp
+	for ci, sub := range prob.Components() {
 		vals := append([]float64(nil), sub.V...)
 		for it, v := range forced {
 			if i := sub.IndexOf(it); i >= 0 {
@@ -142,7 +183,7 @@ func (s *MILPSolver) solveDecomposed(ctx context.Context, sys *System, forced ma
 		if len(violatedRows(sub, vals, 1e-6)) == 0 {
 			// The component is consistent; forced items that differ from
 			// the acquired values still become updates.
-			rep := repairFromValues(db, sub, vals)
+			rep := repairFromValues(prob.Database(), sub, vals)
 			total.Repair.Updates = append(total.Repair.Updates, rep.Updates...)
 			continue
 		}
@@ -150,27 +191,51 @@ func (s *MILPSolver) solveDecomposed(ctx context.Context, sys *System, forced ma
 			// A violated variable-free row: no repair exists.
 			return &Result{Status: milp.StatusInfeasible}, nil
 		}
-		pending = append(pending, sub)
+		pending = append(pending, pendingComp{ci, sub})
 	}
 
 	results := make([]*Result, len(pending))
+	reused := make([]bool, len(pending))
 	errs := make([]error, len(pending))
+	solveOne := func(i int, pc pendingComp) {
+		key := pinKey(pc.sub, forced)
+		if m, ok := prob.lookupComponent(fp, pc.ci, key); ok {
+			results[i] = m.res
+			reused[i] = true
+			return
+		}
+		var warm []float64
+		if !s.DisableWarmStart {
+			warm = prob.warmStart(fp, pc.ci)
+		}
+		res, err := s.solveSystem(ctx, pc.sub, forced, prob.Database(), warm)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		var vals []float64
+		if res.Status == milp.StatusOptimal && res.Repair != nil {
+			vals = solvedValues(pc.sub, res.Repair)
+		}
+		prob.storeComponent(fp, pc.ci, key, res, vals)
+		results[i] = res
+	}
 	if s.Workers > 1 && len(pending) > 1 {
 		sem := make(chan struct{}, s.Workers)
 		var wg sync.WaitGroup
-		for i, sub := range pending {
+		for i, pc := range pending {
 			wg.Add(1)
-			go func(i int, sub *System) {
+			go func(i int, pc pendingComp) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				results[i], errs[i] = s.solveSystem(ctx, sub, forced, db)
-			}(i, sub)
+				solveOne(i, pc)
+			}(i, pc)
 		}
 		wg.Wait()
 	} else {
-		for i, sub := range pending {
-			results[i], errs[i] = s.solveSystem(ctx, sub, forced, db)
+		for i, pc := range pending {
+			solveOne(i, pc)
 		}
 	}
 
@@ -179,15 +244,19 @@ func (s *MILPSolver) solveDecomposed(ctx context.Context, sys *System, forced ma
 			return nil, errs[i]
 		}
 		res := results[i]
-		total.Nodes += res.Nodes
-		total.Iterations += res.Iterations
-		total.Escalations += res.Escalations
+		if reused[i] {
+			total.ComponentsReused++
+		} else {
+			total.Nodes += res.Nodes
+			total.Iterations += res.Iterations
+			total.Escalations += res.Escalations
+		}
 		total.Components++
 		if res.M > total.M {
 			total.M = res.M
 		}
 		if res.Status != milp.StatusOptimal {
-			return &Result{Status: res.Status, Nodes: total.Nodes, Iterations: total.Iterations}, nil
+			return &Result{Status: res.Status, Nodes: total.Nodes, Iterations: total.Iterations, Components: total.Components, ComponentsReused: total.ComponentsReused}, nil
 		}
 		total.Repair.Updates = append(total.Repair.Updates, res.Repair.Updates...)
 	}
@@ -195,8 +264,11 @@ func (s *MILPSolver) solveDecomposed(ctx context.Context, sys *System, forced ma
 }
 
 // solveSystem compiles and solves one system, escalating the big-M bound
-// when it proves binding or spuriously infeasible.
-func (s *MILPSolver) solveSystem(ctx context.Context, sys *System, forced map[Item]float64, db *relational.Database) (*Result, error) {
+// when it proves binding or spuriously infeasible. A non-nil warm vector
+// (the solved values of a previous solve of the same system under other
+// pins) is turned into an exactness-preserving branch-and-bound cutoff
+// whenever it remains feasible under the current pins and M bound.
+func (s *MILPSolver) solveSystem(ctx context.Context, sys *System, forced map[Item]float64, db *relational.Database, warm []float64) (*Result, error) {
 	maxEsc := s.MaxEscalations
 	if maxEsc == 0 {
 		maxEsc = 3
@@ -211,6 +283,13 @@ func (s *MILPSolver) solveSystem(ctx context.Context, sys *System, forced map[It
 	}
 	res := &Result{}
 	for attempt := 0; ; attempt++ {
+		opts.CutoffObjective = nil
+		if warm != nil {
+			if c, ok := warmCutoff(sys, warm, forced, mBound); ok {
+				cc := c
+				opts.CutoffObjective = &cc
+			}
+		}
 		comp, err := Compile(sys, CompileOptions{
 			Formulation:      s.Formulation,
 			BigM:             mBound,

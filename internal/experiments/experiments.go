@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -181,10 +182,11 @@ func E1RunningExample() (*Table, error) {
 	t := &Table{ID: "E1", Title: "Running example fidelity (Fig. 3/4, Examples 10-11)",
 		Header: []string{"check", "expected", "measured", "ok"}}
 	db := runningAcquired()
-	sys, err := core.BuildSystem(db, constraintsRE())
+	prob, err := core.Prepare(db, constraintsRE())
 	if err != nil {
 		return nil, err
 	}
+	sys := prob.System()
 	add := func(name string, want, got any) {
 		t.Add(name, want, got, fmt.Sprint(want) == fmt.Sprint(got))
 	}
@@ -194,7 +196,7 @@ func E1RunningExample() (*Table, error) {
 	t.Add("paper M = 20*(28*250)^57 (log10)", "~224", fmt.Sprintf("%.1f", logM), logM > 200 && logM < 260)
 
 	solver := &core.MILPSolver{}
-	res, err := solver.FindRepair(db, constraintsRE(), nil)
+	res, err := solver.SolveProblem(context.Background(), prob, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +206,7 @@ func E1RunningExample() (*Table, error) {
 		add("repaired value (tcr 2003)", "220", u.New.String())
 		add("displacement y4", -30, int(u.New.AsFloat()-u.Old.AsFloat()))
 	}
-	cs, err := (&core.CardinalitySearchSolver{}).FindRepair(db, constraintsRE(), nil)
+	cs, err := (&core.CardinalitySearchSolver{}).SolveProblem(context.Background(), prob, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -260,16 +262,17 @@ func E3Scaling(errs int, seed int64) (*Table, error) {
 	for _, years := range []int{2, 5, 10, 20, 50, 100} {
 		rng := rand.New(rand.NewSource(seed + int64(years)))
 		db, _ := budgetWithErrors(years, errs, rng)
-		sys, err := core.BuildSystem(db, acs)
+		start := time.Now()
+		prob, err := core.Prepare(db, acs)
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		res, err := (&core.MILPSolver{}).FindRepair(db, acs, nil)
+		res, err := (&core.MILPSolver{}).SolveProblem(context.Background(), prob, nil)
 		if err != nil {
 			return nil, err
 		}
 		decTime := time.Since(start)
+		sys := prob.System()
 		mono := time.Duration(0)
 		if years <= 20 { // the monolithic solve becomes impractical beyond this
 			start = time.Now()

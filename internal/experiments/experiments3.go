@@ -28,11 +28,15 @@ func E11Reliability(docsPerPoint int, seed int64) (*Table, error) {
 			db := docgen.BudgetDatabase(b)
 			corruptValues(db, "CashBudget", "Value", errs, rng)
 			start := time.Now()
-			reps, err := core.EnumerateMinimalRepairs(db, acs, core.EnumerateOptions{Limit: 128})
+			prob, err := core.Prepare(db, acs)
 			if err != nil {
 				return nil, err
 			}
-			rel, err := core.ReliableValues(db, acs, core.EnumerateOptions{Limit: 128})
+			reps, err := prob.EnumerateMinimalRepairs(core.EnumerateOptions{Limit: 128})
+			if err != nil {
+				return nil, err
+			}
+			rel, err := prob.ReliableValues(core.EnumerateOptions{Limit: 128})
 			if err != nil {
 				return nil, err
 			}

@@ -56,18 +56,19 @@ func E13ErrorDepth(docsPerPoint int, seed int64) (*Table, error) {
 					}
 				}
 			}
-			sys, err := core.BuildSystem(db, acs)
+			prob, err := core.Prepare(db, acs)
 			if err != nil {
 				return nil, err
 			}
-			viols += len(violatedSystemRows(sys))
-			reps, err := core.EnumerateMinimalRepairs(db, acs, core.EnumerateOptions{Limit: 64})
+			viols += len(violatedSystemRows(prob.System()))
+			reps, err := prob.EnumerateMinimalRepairs(core.EnumerateOptions{Limit: 64})
 			if err != nil {
 				return nil, err
 			}
 			repairs += len(reps)
 			s := &validate.Session{
 				DB: db, Constraints: acs,
+				Problem:  prob,
 				Solver:   &core.MILPSolver{},
 				Operator: &validate.OracleOperator{Truth: truth},
 			}

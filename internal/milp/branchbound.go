@@ -22,6 +22,17 @@ type MILPOptions struct {
 	// with that error. Callers plumb context cancellation through it as
 	// ctx.Err, so deadline and cancellation semantics survive unwrapped.
 	Cancel func() error
+	// CutoffObjective, when non-nil, declares that a feasible solution with
+	// this objective value is already known (a warm start from a previous
+	// solve). Branch and bound then prunes every subtree whose LP bound
+	// proves it can only hold strictly worse solutions. The cutoff is
+	// exactness-preserving: subtrees that could contain a solution of value
+	// <= CutoffObjective are never pruned by it, so the search returns the
+	// same incumbent a cold solve finds, just with less work. It is applied
+	// only to models with a provably integral objective (all nonzero
+	// objective coefficients integral on integer variables) — the
+	// card-minimal repair objective is one — and ignored otherwise.
+	CutoffObjective *float64
 }
 
 func (o MILPOptions) withDefaults() MILPOptions {
@@ -144,6 +155,18 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 		return b
 	}
 
+	// A known-feasible objective value lets us discard subtrees that can only
+	// contain solutions of value >= cutoff+1; subtrees that may still hold a
+	// solution of value <= cutoff survive, keeping the search exact.
+	cutoff := math.Inf(1)
+	if opt.CutoffObjective != nil && integral {
+		cutoff = *opt.CutoffObjective + 1
+	}
+	pruned := func(b float64) bool {
+		sb := strengthen(b)
+		return sb >= incumbent-1e-9 || sb >= cutoff-1e-9
+	}
+
 	queue := &nodeQueue{{lb: rootLB, ub: rootUB, bound: math.Inf(-1)}}
 	heap.Init(queue)
 
@@ -158,8 +181,8 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 			break
 		}
 		node := heap.Pop(queue).(*bbNode)
-		if strengthen(node.bound) >= incumbent-1e-9 {
-			continue // pruned by bound discovered after the node was queued
+		if pruned(node.bound) {
+			continue // pruned by a bound discovered after the node was queued
 		}
 		res.Nodes++
 		lp, err := solveLPWithBounds(m, opt.Simplex, node.lb, node.ub)
@@ -180,8 +203,7 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 			res.Status = StatusIterLimit
 			continue
 		}
-		bound := strengthen(lp.Objective)
-		if bound >= incumbent-1e-9 {
+		if pruned(lp.Objective) {
 			continue
 		}
 		frac := mostFractional(m, lp.X, opt.IntTol)

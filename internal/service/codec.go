@@ -80,10 +80,10 @@ type AttributeJSON struct {
 // in insertion order. TupleIDs carries the relation-local identifiers the
 // repair machinery addresses, parallel to Tuples.
 type RelationJSON struct {
-	Name       string      `json:"name"`
+	Name       string          `json:"name"`
 	Attributes []AttributeJSON `json:"attributes"`
-	TupleIDs   []int       `json:"tuple_ids,omitempty"`
-	Tuples     [][]ValueJSON `json:"tuples,omitempty"`
+	TupleIDs   []int           `json:"tuple_ids,omitempty"`
+	Tuples     [][]ValueJSON   `json:"tuples,omitempty"`
 }
 
 // DatabaseJSON is the wire form of a database instance. Measures lists the

@@ -63,38 +63,85 @@ func (h *histogram) write(w io.Writer, name, labels string) {
 // found, and repair cardinality. Exposed by GET /metrics in Prometheus text
 // format.
 type Metrics struct {
-	mu          sync.Mutex
-	submitted   uint64
-	finished    map[JobState]uint64
-	retries     uint64
-	violations  uint64
-	updates     uint64
-	stages      map[string]*histogram
-	jobSeconds  *histogram
-	queueDepth  func() int
-	workerCount int
+	mu             sync.Mutex
+	submitted      uint64
+	finished       map[JobState]uint64
+	retries        uint64
+	violations     uint64
+	updates        uint64
+	stages         map[string]*histogram
+	jobSeconds     *histogram
+	prepareSeconds *histogram
+	resolveSeconds *histogram
+	compSolved     uint64
+	compReused     uint64
+	cacheHits      uint64
+	cacheMisses    uint64
+	queueDepth     func() int
+	workerCount    int
 }
 
 // NewMetrics creates an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		finished:   make(map[JobState]uint64),
-		stages:     make(map[string]*histogram),
-		jobSeconds: newHistogram(),
+		finished:       make(map[JobState]uint64),
+		stages:         make(map[string]*histogram),
+		jobSeconds:     newHistogram(),
+		prepareSeconds: newHistogram(),
+		resolveSeconds: newHistogram(),
 	}
 }
 
 // ObserveStage implements dart.StageObserver: it records one pipeline-stage
-// latency ("convert", "wrapper", "dbgen", "check", "solver").
+// latency ("convert", "wrapper", "dbgen", "check", "solver"). The repair
+// module's problem-preparation and per-iteration re-solve timings
+// ("prepare", "resolve") go to their own histogram families so the generic
+// per-stage family keeps one observation per job stage.
 func (m *Metrics) ObserveStage(stage string, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	switch stage {
+	case "prepare":
+		m.prepareSeconds.observe(d.Seconds())
+		return
+	case "resolve":
+		m.resolveSeconds.observe(d.Seconds())
+		return
+	}
 	h := m.stages[stage]
 	if h == nil {
 		h = newHistogram()
 		m.stages[stage] = h
 	}
 	h.observe(d.Seconds())
+}
+
+// Components counts component-level solver work of one finished pipeline
+// run: solved components paid a solver call, reused ones were served from
+// the prepared problem's memo.
+func (m *Metrics) Components(solved, reused int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if solved > 0 {
+		m.compSolved += uint64(solved)
+	}
+	if reused > 0 {
+		m.compReused += uint64(reused)
+	}
+}
+
+// CacheHit counts one job served from the result cache.
+func (m *Metrics) CacheHit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheHits++
+}
+
+// CacheMiss counts one job that had to run the pipeline.
+func (m *Metrics) CacheMiss() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheMisses++
 }
 
 // JobSubmitted counts one accepted submission.
@@ -179,6 +226,22 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE dartd_repair_updates_total counter")
 	fmt.Fprintf(w, "dartd_repair_updates_total %d\n", m.updates)
 
+	fmt.Fprintln(w, "# HELP dartd_components_solved_total Violated connected components handed to a solver.")
+	fmt.Fprintln(w, "# TYPE dartd_components_solved_total counter")
+	fmt.Fprintf(w, "dartd_components_solved_total %d\n", m.compSolved)
+
+	fmt.Fprintln(w, "# HELP dartd_components_reused_total Component re-solves served from the prepared problem's memo.")
+	fmt.Fprintln(w, "# TYPE dartd_components_reused_total counter")
+	fmt.Fprintf(w, "dartd_components_reused_total %d\n", m.compReused)
+
+	fmt.Fprintln(w, "# HELP dartd_result_cache_hits_total Jobs served from the result cache.")
+	fmt.Fprintln(w, "# TYPE dartd_result_cache_hits_total counter")
+	fmt.Fprintf(w, "dartd_result_cache_hits_total %d\n", m.cacheHits)
+
+	fmt.Fprintln(w, "# HELP dartd_result_cache_misses_total Jobs that ran the pipeline (result cache miss or cache disabled).")
+	fmt.Fprintln(w, "# TYPE dartd_result_cache_misses_total counter")
+	fmt.Fprintf(w, "dartd_result_cache_misses_total %d\n", m.cacheMisses)
+
 	if m.queueDepth != nil {
 		fmt.Fprintln(w, "# HELP dartd_queue_depth Jobs waiting for a worker.")
 		fmt.Fprintln(w, "# TYPE dartd_queue_depth gauge")
@@ -200,6 +263,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for _, s := range stages {
 		m.stages[s].write(w, "dartd_stage_seconds", fmt.Sprintf("stage=%q", s))
 	}
+
+	fmt.Fprintln(w, "# HELP dart_prepare_seconds Repair-problem preparation latency (grounding + decomposition, once per job).")
+	fmt.Fprintln(w, "# TYPE dart_prepare_seconds histogram")
+	m.prepareSeconds.write(w, "dart_prepare_seconds", "")
+
+	fmt.Fprintln(w, "# HELP dart_resolve_seconds Prepared-problem re-solve latency (once per validation-loop iteration).")
+	fmt.Fprintln(w, "# TYPE dart_resolve_seconds histogram")
+	m.resolveSeconds.write(w, "dart_resolve_seconds", "")
 
 	fmt.Fprintln(w, "# HELP dartd_job_seconds Whole-job latency (queue wait excluded).")
 	fmt.Fprintln(w, "# TYPE dartd_job_seconds histogram")

@@ -255,6 +255,9 @@ func PipelineRunner(m *Metrics) Runner {
 			}
 			return nil, err
 		}
+		if m != nil {
+			m.Components(res.ComponentsSolved, res.ComponentsReused)
+		}
 		return EncodeResult(res), nil
 	}
 }

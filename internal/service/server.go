@@ -22,6 +22,11 @@ type Config struct {
 	Backoff time.Duration
 	// Runner overrides the job processor (tests; default PipelineRunner).
 	Runner Runner
+	// ResultCacheSize, when positive, serves repeated submissions of the
+	// same (document, metadata, solver) triple from a bounded LRU of that
+	// many finished results, with hit/miss counters in /metrics. 0
+	// disables caching (every submission runs the pipeline).
+	ResultCacheSize int
 }
 
 // Server is the dartd service: queue + pool + metrics behind an HTTP API.
@@ -46,10 +51,17 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	run := cfg.Runner
+	if cfg.ResultCacheSize > 0 {
+		if run == nil {
+			run = PipelineRunner(s.metrics)
+		}
+		run = CachingRunner(run, cfg.ResultCacheSize, s.metrics)
+	}
 	s.pool = &Pool{
 		Queue:       s.queue,
 		Workers:     cfg.Workers,
-		Run:         cfg.Runner,
+		Run:         run,
 		Metrics:     s.metrics,
 		JobTimeout:  cfg.JobTimeout,
 		MaxAttempts: cfg.MaxAttempts,

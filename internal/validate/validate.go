@@ -7,22 +7,35 @@
 // reads off the document. The loop re-solves until a repair is fully
 // accepted. Values validated in earlier iterations are never presented
 // again.
+//
+// The loop grounds the constraint system exactly once: Run prepares a
+// core.Problem up front (or adopts one via Session.Problem) and every
+// iteration re-solves the prepared problem under the accumulated pins, so
+// multi-iteration sessions do not pay a per-iteration grounding cost.
 package validate
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"dart/internal/aggrcons"
 	"dart/internal/core"
 	"dart/internal/milp"
 	"dart/internal/relational"
 )
+
+// ErrInputClosed reports that the operator's input stream ended before a
+// decision was read. Silently accepting the remaining updates would let an
+// aborted session (a closed pipe, a hung-up terminal) commit unreviewed
+// values, so the loop surfaces the condition instead.
+var ErrInputClosed = errors.New("validate: operator input closed before a decision was read")
 
 // Decision is an operator's verdict on one proposed update.
 type Decision struct {
@@ -35,8 +48,10 @@ type Decision struct {
 // Operator reviews proposed updates by comparing them with the source
 // document.
 type Operator interface {
-	// Review decides on one proposed update.
-	Review(u core.Update) Decision
+	// Review decides on one proposed update. A non-nil error aborts the
+	// validation loop (e.g. ErrInputClosed when an interactive operator's
+	// input stream ends mid-review).
+	Review(u core.Update) (Decision, error)
 }
 
 // OracleOperator simulates a human operator who reads the (ground-truth)
@@ -48,24 +63,26 @@ type OracleOperator struct {
 }
 
 // Review implements Operator.
-func (o *OracleOperator) Review(u core.Update) Decision {
+func (o *OracleOperator) Review(u core.Update) (Decision, error) {
 	rel := o.Truth.Relation(u.Item.Relation)
 	if rel == nil {
-		return Decision{Accepted: false, ActualValue: u.Old.AsFloat()}
+		return Decision{Accepted: false, ActualValue: u.Old.AsFloat()}, nil
 	}
 	t := rel.TupleByID(u.Item.TupleID)
 	if t == nil {
-		return Decision{Accepted: false, ActualValue: u.Old.AsFloat()}
+		return Decision{Accepted: false, ActualValue: u.Old.AsFloat()}, nil
 	}
 	truth := t.Get(u.Item.Attr).AsFloat()
 	if u.New.AsFloat() == truth {
-		return Decision{Accepted: true, ActualValue: truth}
+		return Decision{Accepted: true, ActualValue: truth}, nil
 	}
-	return Decision{Accepted: false, ActualValue: truth}
+	return Decision{Accepted: false, ActualValue: truth}, nil
 }
 
 // InteractiveOperator prompts a human on the given streams: 'y' accepts,
-// anything else asks for the actual value.
+// anything else asks for the actual value. When the input stream ends
+// before a decision is read, Review fails with ErrInputClosed (wrapping
+// any scanner error).
 type InteractiveOperator struct {
 	In  io.Reader
 	Out io.Writer
@@ -74,7 +91,7 @@ type InteractiveOperator struct {
 }
 
 // Review implements Operator.
-func (o *InteractiveOperator) Review(u core.Update) Decision {
+func (o *InteractiveOperator) Review(u core.Update) (Decision, error) {
 	if o.scanner == nil {
 		o.scanner = bufio.NewScanner(o.In)
 	}
@@ -82,26 +99,35 @@ func (o *InteractiveOperator) Review(u core.Update) Decision {
 	for {
 		fmt.Fprintf(o.Out, "Accept? [y/n] ")
 		if !o.scanner.Scan() {
-			return Decision{Accepted: true}
+			return Decision{}, o.inputClosed()
 		}
 		switch strings.ToLower(strings.TrimSpace(o.scanner.Text())) {
 		case "y", "yes":
-			return Decision{Accepted: true}
+			return Decision{Accepted: true}, nil
 		case "n", "no":
 			fmt.Fprintf(o.Out, "Actual source value: ")
 			if !o.scanner.Scan() {
-				return Decision{Accepted: true}
+				return Decision{}, o.inputClosed()
 			}
 			v, err := strconv.ParseFloat(strings.TrimSpace(o.scanner.Text()), 64)
 			if err != nil {
 				fmt.Fprintf(o.Out, "not a number: %v\n", err)
 				continue
 			}
-			return Decision{Accepted: false, ActualValue: v}
+			return Decision{Accepted: false, ActualValue: v}, nil
 		default:
 			fmt.Fprintf(o.Out, "please answer y or n\n")
 		}
 	}
+}
+
+// inputClosed wraps a scanner failure into ErrInputClosed, keeping the
+// underlying read error (if any) inspectable via errors.Is/As.
+func (o *InteractiveOperator) inputClosed() error {
+	if err := o.scanner.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInputClosed, err)
+	}
+	return ErrInputClosed
 }
 
 // Session drives one document's validation loop.
@@ -110,6 +136,20 @@ type Session struct {
 	Constraints []*aggrcons.Constraint
 	Solver      core.Solver
 	Operator    Operator
+	// Problem, when non-nil, supplies an already-prepared repair problem
+	// for (DB, Constraints); Run prepares one otherwise. Sharing a problem
+	// across sessions of the same database additionally shares the
+	// component-solve memo.
+	Problem *core.Problem
+	// DisablePreparedReuse makes every iteration re-ground and re-solve
+	// from scratch (the pre-refactor behaviour). It exists for the
+	// differential tests and the BenchmarkValidationLoop baseline; results
+	// are identical either way.
+	DisablePreparedReuse bool
+	// Observe, when non-nil, receives the latency of the one-time problem
+	// preparation ("prepare") and of every in-loop repair computation
+	// ("resolve").
+	Observe func(stage string, d time.Duration)
 	// Context, when non-nil, bounds every repair computation of the loop;
 	// nil means context.Background().
 	Context context.Context
@@ -144,8 +184,19 @@ type Outcome struct {
 	// AutoAccepted counts updates accepted via reliability analysis without
 	// consulting the operator (only with Session.AutoAcceptReliable).
 	AutoAccepted int
+	// ComponentsSolved and ComponentsReused count component-level solver
+	// work across the loop; reused components were served from the prepared
+	// problem's memo without re-solving (both 0 with DisablePreparedReuse).
+	ComponentsSolved, ComponentsReused int
 	// Forced is the final set of operator-pinned values.
 	Forced map[core.Item]float64
+}
+
+// observe reports one timed stage to the session's observer, if any.
+func (s *Session) observe(stage string, start time.Time) {
+	if s.Observe != nil {
+		s.Observe(stage, time.Since(start))
+	}
 }
 
 // Run executes the validation loop to acceptance.
@@ -161,14 +212,23 @@ func (s *Session) Run() (*Outcome, error) {
 	out := &Outcome{Forced: map[core.Item]float64{}}
 	validated := map[core.Item]bool{}
 
-	// The ordering heuristic needs per-item ground-constraint counts.
-	sys, err := core.BuildSystem(s.DB, s.Constraints)
-	if err != nil {
-		return nil, err
+	// Ground once: the prepared problem carries the linear system, the
+	// component decomposition, and the per-item ground-constraint counts
+	// the ordering heuristic needs.
+	prob := s.Problem
+	if prob == nil {
+		start := time.Now()
+		var err error
+		prob, err = core.Prepare(s.DB, s.Constraints)
+		if err != nil {
+			return nil, err
+		}
+		s.observe("prepare", start)
 	}
-	occ := sys.Occurrences()
+	statsBefore := prob.Stats()
+	occ := prob.Occurrences()
 	occOf := func(it core.Item) int {
-		if i := sys.IndexOf(it); i >= 0 {
+		if i := prob.System().IndexOf(it); i >= 0 {
 			return occ[i]
 		}
 		return 0
@@ -176,7 +236,15 @@ func (s *Session) Run() (*Outcome, error) {
 
 	for out.Iterations < maxIters {
 		out.Iterations++
-		res, err := core.FindRepairCtx(ctx, s.Solver, s.DB, s.Constraints, out.Forced)
+		start := time.Now()
+		var res *core.Result
+		var err error
+		if s.DisablePreparedReuse {
+			res, err = core.FindRepairCtx(ctx, s.Solver, s.DB, s.Constraints, out.Forced)
+		} else {
+			res, err = s.Solver.SolveProblem(ctx, prob, out.Forced)
+		}
+		s.observe("resolve", start)
 		if err != nil {
 			return nil, err
 		}
@@ -188,9 +256,13 @@ func (s *Session) Run() (*Outcome, error) {
 		var pending []core.Update
 		var reliableItems map[core.Item]float64
 		if s.AutoAcceptReliable {
-			rel, err := core.ReliableValues(s.DB, s.Constraints, core.EnumerateOptions{
-				Forced: out.Forced,
-			})
+			opts := core.EnumerateOptions{Forced: out.Forced}
+			var rel []core.Reliability
+			if s.DisablePreparedReuse {
+				rel, err = core.ReliableValues(s.DB, s.Constraints, opts)
+			} else {
+				rel, err = prob.ReliableValues(opts)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -222,13 +294,7 @@ func (s *Session) Run() (*Outcome, error) {
 		if len(pending) == 0 {
 			// Every update of the proposed repair has been validated: the
 			// repair is accepted.
-			repaired, err := core.VerifyRepairs(s.DB, s.Constraints, res.Repair, 1e-6)
-			if err != nil {
-				return nil, err
-			}
-			out.Repaired = repaired
-			out.Final = res.Repair
-			return out, nil
+			return s.finish(out, prob, statsBefore, res)
 		}
 		review := len(pending)
 		if s.ReviewPerIteration > 0 && s.ReviewPerIteration < review {
@@ -236,7 +302,10 @@ func (s *Session) Run() (*Outcome, error) {
 		}
 		allAccepted := true
 		for _, u := range pending[:review] {
-			d := s.Operator.Review(u)
+			d, err := s.Operator.Review(u)
+			if err != nil {
+				return nil, fmt.Errorf("validate: operator review: %w", err)
+			}
 			out.Examined++
 			validated[u.Item] = true
 			if d.Accepted {
@@ -249,14 +318,22 @@ func (s *Session) Run() (*Outcome, error) {
 			}
 		}
 		if allAccepted && review == len(pending) {
-			repaired, err := core.VerifyRepairs(s.DB, s.Constraints, res.Repair, 1e-6)
-			if err != nil {
-				return nil, err
-			}
-			out.Repaired = repaired
-			out.Final = res.Repair
-			return out, nil
+			return s.finish(out, prob, statsBefore, res)
 		}
 	}
 	return nil, fmt.Errorf("validate: no accepted repair within %d iterations", maxIters)
+}
+
+// finish verifies the accepted repair and closes the outcome's counters.
+func (s *Session) finish(out *Outcome, prob *core.Problem, statsBefore core.ProblemStats, res *core.Result) (*Outcome, error) {
+	repaired, err := core.VerifyRepairs(s.DB, s.Constraints, res.Repair, 1e-6)
+	if err != nil {
+		return nil, err
+	}
+	out.Repaired = repaired
+	out.Final = res.Repair
+	stats := prob.Stats()
+	out.ComponentsSolved = stats.ComponentsSolved - statsBefore.ComponentsSolved
+	out.ComponentsReused = stats.ComponentsReused - statsBefore.ComponentsReused
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package validate_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -183,7 +184,7 @@ type recordingOperator struct {
 	seen  *[]string
 }
 
-func (r *recordingOperator) Review(u core.Update) validate.Decision {
+func (r *recordingOperator) Review(u core.Update) (validate.Decision, error) {
 	*r.seen = append(*r.seen, u.Item.String())
 	return r.inner.Review(u)
 }
@@ -192,10 +193,13 @@ func TestInteractiveOperator(t *testing.T) {
 	in := strings.NewReader("maybe\ny\n")
 	var out strings.Builder
 	op := &validate.InteractiveOperator{In: in, Out: &out}
-	d := op.Review(core.Update{
+	d, err := op.Review(core.Update{
 		Item: core.Item{Relation: "CashBudget", TupleID: 3, Attr: "Value"},
 		Old:  relational.Int(250), New: relational.Int(220),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !d.Accepted {
 		t.Error("should accept after 'y'")
 	}
@@ -206,12 +210,50 @@ func TestInteractiveOperator(t *testing.T) {
 	in2 := strings.NewReader("n\nbanana\nn\n230\n")
 	var out2 strings.Builder
 	op2 := &validate.InteractiveOperator{In: in2, Out: &out2}
-	d2 := op2.Review(core.Update{
+	d2, err := op2.Review(core.Update{
 		Item: core.Item{Relation: "CashBudget", TupleID: 3, Attr: "Value"},
 		Old:  relational.Int(250), New: relational.Int(220),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d2.Accepted || d2.ActualValue != 230 {
 		t.Errorf("decision = %+v", d2)
+	}
+}
+
+func TestInteractiveOperatorEOFIsAnError(t *testing.T) {
+	// An input stream that ends before any decision must not silently
+	// accept the update.
+	op := &validate.InteractiveOperator{In: strings.NewReader(""), Out: &strings.Builder{}}
+	u := core.Update{
+		Item: core.Item{Relation: "CashBudget", TupleID: 3, Attr: "Value"},
+		Old:  relational.Int(250), New: relational.Int(220),
+	}
+	if _, err := op.Review(u); !errors.Is(err, validate.ErrInputClosed) {
+		t.Fatalf("err = %v, want ErrInputClosed", err)
+	}
+
+	// EOF right after a rejection, before the actual value is read, is the
+	// same condition.
+	op2 := &validate.InteractiveOperator{In: strings.NewReader("n\n"), Out: &strings.Builder{}}
+	if _, err := op2.Review(u); !errors.Is(err, validate.ErrInputClosed) {
+		t.Fatalf("err after 'n' = %v, want ErrInputClosed", err)
+	}
+}
+
+func TestSessionSurfacesOperatorEOF(t *testing.T) {
+	// A session whose interactive operator hits EOF mid-loop fails loudly
+	// instead of committing unreviewed values.
+	acquired := runningex.AcquiredDatabase()
+	s := &validate.Session{
+		DB:          acquired,
+		Constraints: runningex.Constraints(),
+		Solver:      &core.MILPSolver{},
+		Operator:    &validate.InteractiveOperator{In: strings.NewReader(""), Out: &strings.Builder{}},
+	}
+	if _, err := s.Run(); !errors.Is(err, validate.ErrInputClosed) {
+		t.Fatalf("Run err = %v, want ErrInputClosed", err)
 	}
 }
 
@@ -290,7 +332,7 @@ func TestAutoAcceptReliableStillConsultsOnAmbiguity(t *testing.T) {
 // failingOperator fails the test if consulted.
 type failingOperator struct{ t *testing.T }
 
-func (f *failingOperator) Review(u core.Update) validate.Decision {
+func (f *failingOperator) Review(u core.Update) (validate.Decision, error) {
 	f.t.Errorf("operator consulted unexpectedly for %v", u)
-	return validate.Decision{Accepted: true}
+	return validate.Decision{Accepted: true}, nil
 }

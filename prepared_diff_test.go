@@ -1,0 +1,184 @@
+package dart_test
+
+// Differential tests for the prepared-problem refactor: every validation
+// session run against a prepared core.Problem (grounded once, re-solved
+// incrementally with memoized components and warm-start cutoffs) must be
+// byte-identical to the same session re-grounding and re-solving from
+// scratch each iteration. The corpus spans all solvers, single- and
+// multi-iteration oracle sessions with forced pins, and the
+// reliability-guided auto-accept mode.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dart/internal/core"
+	"dart/internal/docgen"
+	"dart/internal/relational"
+	"dart/internal/runningex"
+	"dart/internal/validate"
+)
+
+// diffSolvers builds a fresh instance of every solver configuration per
+// call (solvers are stateless, but separate instances rule out cross-talk).
+func diffSolvers() []struct {
+	name string
+	mk   func() core.Solver
+} {
+	return []struct {
+		name string
+		mk   func() core.Solver
+	}{
+		{"milp-literal", func() core.Solver { return &core.MILPSolver{} }},
+		{"milp-reduced", func() core.Solver { return &core.MILPSolver{Formulation: core.FormulationReduced} }},
+		{"cardsearch", func() core.Solver { return &core.CardinalitySearchSolver{} }},
+		{"greedy-aggregate", func() core.Solver { return &core.GreedyAggregateSolver{} }},
+		{"greedy-local", func() core.Solver { return &core.GreedyLocalSolver{} }},
+	}
+}
+
+// diffCorpus is the scenario corpus: the running example plus seeded
+// random budgets of increasing size and error count.
+func diffCorpus() []struct {
+	name      string
+	db, truth *relational.Database
+} {
+	type entry = struct {
+		name      string
+		db, truth *relational.Database
+	}
+	out := []entry{{"runningex", runningex.AcquiredDatabase(), runningex.CorrectDatabase()}}
+	for _, c := range []struct {
+		years, errs int
+		seed        int64
+	}{
+		{3, 1, 101},
+		{3, 3, 102},
+		{5, 4, 103},
+	} {
+		rng := rand.New(rand.NewSource(c.seed))
+		years := docgen.RandomBudget(rng, 2000, c.years)
+		truth := docgen.BudgetDatabase(years)
+		db := docgen.BudgetDatabase(years)
+		corruptBudget(db, c.errs, rng)
+		out = append(out, entry{fmt.Sprintf("budget-y%d-e%d", c.years, c.errs), db, truth})
+	}
+	return out
+}
+
+// runDiffSession runs one validation session and flattens everything
+// observable into a comparison string. Errors are part of the observable
+// behaviour: both paths must fail identically or succeed identically.
+func runDiffSession(s *validate.Session) string {
+	out, err := s.Run()
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return fmt.Sprintf("final:\n%s\nrepaired:\n%s\niters=%d examined=%d accepted=%d rejected=%d auto=%d",
+		out.Final, out.Repaired, out.Iterations, out.Examined,
+		out.Accepted, out.Rejected, out.AutoAccepted)
+}
+
+// TestPreparedSessionMatchesFromScratch is the refactor's differential
+// gate: for every solver and corpus document, an oracle-operator session
+// over the prepared problem equals the from-scratch baseline bit for bit —
+// including multi-iteration sessions where rejections pin values.
+func TestPreparedSessionMatchesFromScratch(t *testing.T) {
+	for _, doc := range diffCorpus() {
+		for _, sv := range diffSolvers() {
+			// ReviewPerIteration 1 forces a re-solve after every single
+			// decision: the pin set changes between iterations, exercising
+			// the memo-miss and warm-start paths.
+			for _, rpi := range []int{0, 1} {
+				t.Run(fmt.Sprintf("%s/%s/rpi=%d", doc.name, sv.name, rpi), func(t *testing.T) {
+					mkSession := func(scratch bool) *validate.Session {
+						return &validate.Session{
+							DB:                   doc.db,
+							Constraints:          runningex.Constraints(),
+							Solver:               sv.mk(),
+							Operator:             &validate.OracleOperator{Truth: doc.truth},
+							ReviewPerIteration:   rpi,
+							DisablePreparedReuse: scratch,
+						}
+					}
+					prepared := runDiffSession(mkSession(false))
+					scratch := runDiffSession(mkSession(true))
+					if prepared != scratch {
+						t.Errorf("prepared session diverged from from-scratch baseline:\n--- prepared ---\n%s\n--- from scratch ---\n%s",
+							prepared, scratch)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPreparedAutoAcceptReliableMatchesFromScratch covers the CQA layer:
+// reliability analysis served by the prepared problem (single grounding,
+// shared enumeration) must drive auto-accept decisions identically to the
+// from-scratch core.ReliableValues path.
+func TestPreparedAutoAcceptReliableMatchesFromScratch(t *testing.T) {
+	for _, doc := range diffCorpus() {
+		t.Run(doc.name, func(t *testing.T) {
+			mkSession := func(scratch bool) *validate.Session {
+				return &validate.Session{
+					DB:                   doc.db,
+					Constraints:          runningex.Constraints(),
+					Solver:               &core.MILPSolver{},
+					Operator:             &validate.OracleOperator{Truth: doc.truth},
+					ReviewPerIteration:   1,
+					AutoAcceptReliable:   true,
+					DisablePreparedReuse: scratch,
+				}
+			}
+			prepared := runDiffSession(mkSession(false))
+			scratch := runDiffSession(mkSession(true))
+			if prepared != scratch {
+				t.Errorf("auto-accept session diverged:\n--- prepared ---\n%s\n--- from scratch ---\n%s",
+					prepared, scratch)
+			}
+		})
+	}
+}
+
+// TestPreparedSessionReportsComponentReuse checks the loop's new counters:
+// a multi-iteration prepared session must reuse memoized components
+// (consistent components recur identically between iterations), and the
+// from-scratch baseline must report zero for both counters.
+func TestPreparedSessionReportsComponentReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	years := docgen.RandomBudget(rng, 2000, 6)
+	truth := docgen.BudgetDatabase(years)
+	db := docgen.BudgetDatabase(years)
+	corruptBudget(db, 4, rng)
+	run := func(scratch bool) *validate.Outcome {
+		t.Helper()
+		out, err := (&validate.Session{
+			DB:                   db,
+			Constraints:          runningex.Constraints(),
+			Solver:               &core.MILPSolver{},
+			Operator:             &validate.OracleOperator{Truth: truth},
+			ReviewPerIteration:   1,
+			DisablePreparedReuse: scratch,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	prepared := run(false)
+	if prepared.Iterations < 2 {
+		t.Fatalf("corpus too easy: %d iterations", prepared.Iterations)
+	}
+	if prepared.ComponentsSolved == 0 {
+		t.Error("prepared session reports no solved components")
+	}
+	if prepared.ComponentsReused == 0 {
+		t.Error("multi-iteration prepared session reused no components")
+	}
+	scratch := run(true)
+	if scratch.ComponentsSolved != 0 || scratch.ComponentsReused != 0 {
+		t.Errorf("from-scratch session claims prepared-problem work: %+v", scratch)
+	}
+}
