@@ -1,0 +1,213 @@
+// Command dartvet is the repository's multichecker: it runs the custom
+// static-analysis passes of internal/analysis over the module (code mode)
+// and the constraint/metadata spec vetter over designer metadata files
+// (spec mode).
+//
+// Code mode (default):
+//
+//	dartvet [-novet] [-json] [packages ...]
+//
+// loads the named packages (default ./...) with full type information and
+// applies each pass to the packages in its scope:
+//
+//	ctxloop    internal/core, internal/milp, internal/service
+//	floatcmp   internal/core, internal/milp
+//	lockcheck  internal/service
+//	retshim    internal/core
+//
+// Unless -novet is given it also execs "go vet" on the same patterns, so a
+// single dartvet invocation is the whole lint story. Findings may be
+// suppressed with a reasoned directive:
+//
+//	//dartvet:allow ctxloop -- eviction loop, bounded by c.cap
+//
+// Spec mode:
+//
+//	dartvet -spec [-json] file.meta [file2.meta ...]
+//
+// parses each metadata file and reports specvet diagnostics (non-steady
+// constraints, dangling attribute references, classification conflicts,
+// infeasible constraint pairs).
+//
+// Exit status is 1 when any finding or diagnostic is reported, 2 on usage
+// or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"dart/internal/analysis"
+	"dart/internal/analysis/ctxloop"
+	"dart/internal/analysis/floatcmp"
+	"dart/internal/analysis/lockcheck"
+	"dart/internal/analysis/retshim"
+	"dart/internal/analysis/specvet"
+	"dart/internal/metadata"
+)
+
+// scopes maps each analyzer to the import-path suffixes it runs on. A pass
+// runs on a package when the package's import path ends in one of the
+// suffixes; an empty list means every loaded package.
+var scopes = map[string][]string{
+	ctxloop.Analyzer.Name:   {"internal/core", "internal/milp", "internal/service"},
+	floatcmp.Analyzer.Name:  {"internal/core", "internal/milp"},
+	lockcheck.Analyzer.Name: {"internal/service"},
+	retshim.Analyzer.Name:   {"internal/core"},
+}
+
+var analyzers = []*analysis.Analyzer{
+	ctxloop.Analyzer,
+	floatcmp.Analyzer,
+	lockcheck.Analyzer,
+	retshim.Analyzer,
+}
+
+func main() {
+	var (
+		specMode = flag.Bool("spec", false, "vet designer metadata files instead of Go packages")
+		noVet    = flag.Bool("novet", false, "code mode: skip running go vet alongside the custom passes")
+		asJSON   = flag.Bool("json", false, "emit findings as JSON")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dartvet [-novet] [-json] [packages ...]\n       dartvet -spec [-json] file.meta ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var code int
+	if *specMode {
+		code = runSpec(flag.Args(), *asJSON)
+	} else {
+		code = runCode(flag.Args(), *asJSON, *noVet)
+	}
+	os.Exit(code)
+}
+
+// runCode applies the custom passes (and go vet) to the named packages.
+func runCode(patterns []string, asJSON, noVet bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dartvet:", err)
+		return 2
+	}
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		var active []*analysis.Analyzer
+		for _, a := range analyzers {
+			if inScope(pkg.ImportPath, scopes[a.Name]) {
+				active = append(active, a)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		fs, err := analysis.Run([]*analysis.Package{pkg}, active)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dartvet:", err)
+			return 2
+		}
+		findings = append(findings, fs...)
+	}
+	if asJSON {
+		json.NewEncoder(os.Stdout).Encode(findings)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	code := 0
+	if len(findings) > 0 {
+		code = 1
+	}
+	if !noVet {
+		if vetCode := runGoVet(patterns); vetCode != 0 && code == 0 {
+			code = vetCode
+		}
+	}
+	return code
+}
+
+// runGoVet execs the standard vet tool on the same patterns so CI needs a
+// single entry point.
+func runGoVet(patterns []string) int {
+	cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); ok {
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "dartvet: go vet:", err)
+		return 2
+	}
+	return 0
+}
+
+func inScope(importPath string, suffixes []string) bool {
+	if len(suffixes) == 0 {
+		return true
+	}
+	for _, s := range suffixes {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// specReport pairs a metadata file with its diagnostics for -json output.
+type specReport struct {
+	File        string               `json:"file"`
+	Error       string               `json:"error,omitempty"`
+	Diagnostics []specvet.Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// runSpec parses and vets each metadata file.
+func runSpec(files []string, asJSON bool) int {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "dartvet: -spec requires at least one metadata file")
+		return 2
+	}
+	var reports []specReport
+	bad := false
+	for _, file := range files {
+		rep := specReport{File: file}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			rep.Error = err.Error()
+			bad = true
+		} else if md, perr := metadata.Parse(string(src)); perr != nil {
+			rep.Error = perr.Error()
+			bad = true
+		} else if diags := specvet.Vet(md); len(diags) > 0 {
+			rep.Diagnostics = diags
+			bad = true
+		}
+		reports = append(reports, rep)
+	}
+	if asJSON {
+		json.NewEncoder(os.Stdout).Encode(reports)
+	} else {
+		for _, rep := range reports {
+			if rep.Error != "" {
+				fmt.Printf("%s: %s\n", rep.File, rep.Error)
+			}
+			for _, d := range rep.Diagnostics {
+				fmt.Printf("%s: %s\n", rep.File, d)
+			}
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+package aggrcons
+
+import "dart/internal/relational"
+
+// Introspection accessors used by static analysis of constraint catalogs
+// (dartvet's spec mode). They expose the operand and argument kinds without
+// opening the representation for mutation.
+
+// IsAttr reports whether the operand references an attribute, returning its
+// name.
+func (o Operand) IsAttr() (string, bool) { return o.attr, o.kind == opAttr }
+
+// IsParam reports whether the operand references a function parameter,
+// returning its index.
+func (o Operand) IsParam() (int, bool) { return o.param, o.kind == opParam }
+
+// IsConst reports whether the operand is a constant, returning its value.
+func (o Operand) IsConst() (relational.Value, bool) { return o.cnst, o.kind == opConst }
+
+// IsConst reports whether the term is a constant, returning its value.
+func (a ArgTerm) IsConst() (relational.Value, bool) { return a.val, a.kind == argConst }
+
+// IsWildcard reports whether the term is the '_' placeholder.
+func (a ArgTerm) IsWildcard() bool { return a.kind == argWildcard }
+
+// WalkCmps visits every atomic comparison of the formula in syntactic
+// order.
+func WalkCmps(e BoolExpr, fn func(Cmp)) {
+	switch x := e.(type) {
+	case Cmp:
+		fn(x)
+	case And:
+		for _, f := range x {
+			WalkCmps(f, fn)
+		}
+	case Or:
+		for _, f := range x {
+			WalkCmps(f, fn)
+		}
+	case Not:
+		WalkCmps(x.F, fn)
+	}
+}

@@ -1,0 +1,180 @@
+// Package analysis is the repository's static-analysis layer: a minimal,
+// stdlib-only mirror of the golang.org/x/tools/go/analysis framework plus
+// the package loader and driver the dartvet multichecker runs on.
+//
+// The repository builds with the standard library only, so instead of
+// depending on x/tools this package keeps the same Analyzer/Pass/Diagnostic
+// shape (a pass receives parsed, type-checked syntax and reports positioned
+// diagnostics) on top of go/ast, go/types and export data produced by the
+// go command. Passes written against it read like x/tools passes and could
+// be ported verbatim if the dependency ever becomes available.
+//
+// Suppression: a finding may be silenced with a directive comment on the
+// flagged line or the line above it:
+//
+//	//dartvet:allow ctxloop -- eviction loop, bounded by c.cap
+//
+// Directives name one or more comma-separated passes and must carry a
+// reason after "--"; a bare allow-all is deliberately not supported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and directives.
+	Name string
+	// Doc states the invariant the pass enforces.
+	Doc string
+	// Run applies the pass to one package.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between the driver and one analyzer run on one
+// package: parsed files, type information, and a report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// Diagnostic is one finding, positioned in the pass's file set.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic: the emitting analyzer plus a concrete
+// file position, ready for printing or JSON encoding.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the go vet style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// directivePrefix opens a suppression comment.
+const directivePrefix = "//dartvet:allow"
+
+// allowedLines maps (file, line) to the set of analyzer names a directive
+// on that line suppresses. A directive suppresses findings on its own line
+// and on the line directly below it.
+type allowedLines map[token.Position]map[string]bool
+
+func (a allowedLines) allows(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		key := token.Position{Filename: p.Filename, Line: line}
+		if a[key][name] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans a file's comments for suppression directives.
+func collectDirectives(fset *token.FileSet, files []*ast.File) allowedLines {
+	out := allowedLines{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				// The reason after "--" is mandatory but not interpreted.
+				names, reason, ok := strings.Cut(rest, "--")
+				if !ok || strings.TrimSpace(reason) == "" {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := token.Position{Filename: p.Filename, Line: p.Line}
+				set := out[key]
+				if set == nil {
+					set = map[string]bool{}
+					out[key] = set
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// findings sorted by position. Directive-suppressed diagnostics are
+// dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allowed := collectDirectives(pkg.Fset, pkg.Syntax)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				if allowed.allows(pkg.Fset, a.Name, d.Pos) {
+					return
+				}
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

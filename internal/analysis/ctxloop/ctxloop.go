@@ -1,0 +1,132 @@
+// Package ctxloop enforces the PR 1 cancellation contract: any loop that
+// can iterate unboundedly must poll the cooperative-cancellation machinery
+// so a job deadline or server drain can stop it.
+//
+// A loop is considered potentially unbounded when it has no condition
+// (`for { ... }`, `for i := 0; ; i++ { ... }`), when it is a bare
+// while-loop (`for cond { ... }` with no init/post clause), or when it
+// ranges over a channel. Such a loop passes the check when its body
+// observably participates in cancellation by any of:
+//
+//   - calling Err or Done on a context.Context (ctx.Err() poll, select on
+//     ctx.Done()),
+//   - referencing a Cancel field or method (the MILPOptions.Cancel hook),
+//   - passing a context.Context or a milp.MILPOptions value to a callee,
+//     which delegates the polling obligation downstream.
+//
+// Loops that are bounded for non-syntactic reasons carry a
+// //dartvet:allow ctxloop -- <why it terminates> directive.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dart/internal/analysis"
+)
+
+// Analyzer is the ctxloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc:  "potentially unbounded loops must poll ctx.Err()/Done(), a Cancel hook, or delegate a context to a callee",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				if unboundedFor(l) && !polls(pass, l.Body) {
+					pass.Reportf(l.For, "potentially unbounded loop does not poll cancellation (ctx.Err/Done, a Cancel hook, or a ctx-taking callee)")
+				}
+			case *ast.RangeStmt:
+				if rangesOverChannel(pass, l) && !polls(pass, l.Body) {
+					pass.Reportf(l.For, "range over a channel does not poll cancellation (ctx.Err/Done, a Cancel hook, or a ctx-taking callee)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unboundedFor reports whether the for statement is syntactically
+// unbounded: no condition at all, or a bare `for cond` while-loop whose
+// progress is invisible to the compiler.
+func unboundedFor(l *ast.ForStmt) bool {
+	if l.Cond == nil {
+		return true
+	}
+	return l.Init == nil && l.Post == nil
+}
+
+// rangesOverChannel reports whether the range statement iterates a channel
+// (unbounded until the sender closes it).
+func rangesOverChannel(pass *analysis.Pass, l *ast.RangeStmt) bool {
+	t := pass.TypeOf(l.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// polls reports whether the loop body participates in cancellation.
+func polls(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			switch e.Sel.Name {
+			case "Err", "Done":
+				if isContext(pass.TypeOf(e.X)) {
+					found = true
+				}
+			case "Cancel":
+				// The MILPOptions.Cancel hook (or any analogous field):
+				// reading, assigning, or invoking it all count.
+				found = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range e.Args {
+				if delegatesCancellation(pass.TypeOf(arg)) {
+					found = true
+					break
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// delegatesCancellation reports whether passing a value of type t hands the
+// polling obligation to the callee: a context, or an options struct that
+// carries the Cancel hook.
+func delegatesCancellation(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContext(t) {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj() != nil && named.Obj().Name() == "MILPOptions"
+}

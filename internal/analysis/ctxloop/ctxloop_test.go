@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"dart/internal/analysis/analysistest"
+	"dart/internal/analysis/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer, "testdata/src/a")
+}

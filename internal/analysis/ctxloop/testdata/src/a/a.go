@@ -1,0 +1,99 @@
+package a
+
+import "context"
+
+// MILPOptions mirrors the solver options struct that carries the Cancel
+// hook; passing it to a callee delegates the polling obligation.
+type MILPOptions struct {
+	Cancel func() error
+}
+
+func work()                             {}
+func handle(ctx context.Context, v int) {}
+func solve(opts MILPOptions) error      { _ = opts; return nil }
+
+func infiniteNoPoll() {
+	for { // want "potentially unbounded loop does not poll cancellation"
+		work()
+	}
+}
+
+func infinitePollsErr(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+func infiniteSelectDone(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+func whileNoPoll(n int) {
+	for n > 0 { // want "potentially unbounded loop does not poll cancellation"
+		n--
+	}
+}
+
+func whileAllowed(n int) {
+	//dartvet:allow ctxloop -- n strictly decreases every iteration
+	for n > 0 {
+		n--
+	}
+}
+
+func boundedThreeClause() {
+	for i := 0; i < 10; i++ {
+		work()
+	}
+}
+
+func noCondNoPoll(i int) {
+	for ; ; i++ { // want "potentially unbounded loop does not poll cancellation"
+		work()
+	}
+}
+
+func rangeChanNoPoll(ch chan int) {
+	for v := range ch { // want "range over a channel does not poll cancellation"
+		_ = v
+	}
+}
+
+func rangeChanDelegates(ctx context.Context, ch chan int) {
+	for v := range ch {
+		handle(ctx, v)
+	}
+}
+
+func rangeSliceOK(xs []int) {
+	for _, v := range xs {
+		_ = v
+	}
+}
+
+func cancelHook(o MILPOptions) {
+	for {
+		if err := o.Cancel(); err != nil {
+			return
+		}
+		work()
+	}
+}
+
+func delegatesOptions(o MILPOptions) {
+	for {
+		if err := solve(o); err != nil {
+			return
+		}
+	}
+}

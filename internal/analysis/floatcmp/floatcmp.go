@@ -1,0 +1,163 @@
+// Package floatcmp guards the exactness of the MILP translation: raw
+// floating-point comparisons between computed values silently break the
+// big-M/epsilon reasoning of S*(AC), so float64 comparisons in the solver
+// packages must go through a tolerance.
+//
+// The pass flags a binary comparison when both operands are float-typed and
+// the comparison is "raw":
+//
+//   - == and != between two non-constant float expressions are always
+//     flagged — strict equality of computed floats is the classic silent
+//     breakage. Comparing against a compile-time constant (x == 0,
+//     c == 1) stays legal: exact sentinel checks on unmodified inputs are
+//     idiomatic and intentional.
+//   - <, <=, >, >= are flagged only when neither side carries a tolerance:
+//     no float constant folded anywhere into either operand (x < y+1e-9 is
+//     fine), no identifier mentioning tol/eps/scale/bound, and no
+//     math.Abs/math.Inf call. Epsilon-adjusted orderings keep their idiom;
+//     a bare `a < b` between two computed floats does not.
+//
+// Functions whose name marks them as epsilon helpers (containing "approx",
+// "tol", or "eps", case-insensitively) are blessed wholesale: they exist
+// to centralize the raw comparisons everything else must route through.
+// Intentional exact comparisons elsewhere carry a
+// //dartvet:allow floatcmp -- <why exactness is wanted> directive.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dart/internal/analysis"
+)
+
+// Analyzer is the floatcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "float64 comparisons must be tolerance-adjusted or routed through a blessed epsilon helper",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if blessedHelper(fd.Name.Name) || fd.Body == nil {
+				return false
+			}
+			checkBody(pass, fd.Body)
+			return false
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		if !isFloat(pass.TypeOf(b.X)) || !isFloat(pass.TypeOf(b.Y)) {
+			return true
+		}
+		if isConst(pass, b.X) || isConst(pass, b.Y) {
+			return true
+		}
+		switch b.Op {
+		case token.EQL, token.NEQ:
+			pass.Reportf(b.OpPos, "raw float64 %s between computed values; compare within a tolerance or route through an epsilon helper", b.Op)
+		default:
+			if hasToleranceTerm(pass, b.X) || hasToleranceTerm(pass, b.Y) {
+				return true
+			}
+			pass.Reportf(b.OpPos, "raw float64 %s without a tolerance term; adjust one side by an epsilon", b.Op)
+		}
+		return true
+	})
+}
+
+// blessedHelper reports whether the enclosing function is an epsilon
+// helper, identified by name.
+func blessedHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, marker := range []string{"approx", "tol", "eps"} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether e is a compile-time constant expression.
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// hasToleranceTerm reports whether the expression visibly incorporates a
+// tolerance: a folded float constant, a tolerance-named identifier, or a
+// math.Abs/math.Inf call.
+func hasToleranceTerm(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case ast.Expr:
+			if tv, ok := pass.TypesInfo.Types[x]; ok && tv.Value != nil && isFloat(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if toleranceName(x.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if toleranceName(x.Sel.Name) {
+				found = true
+			}
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == "math" {
+				switch x.Sel.Name {
+				case "Abs", "Inf":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// toleranceName reports whether an identifier names a tolerance quantity.
+func toleranceName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, marker := range []string{"tol", "eps", "scale", "bound"} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package b
+
+import "math"
+
+const eps = 1e-9
+
+func rawEq(a, b float64) bool {
+	return a == b // want "raw float64 == between computed values"
+}
+
+func rawNeq(a, b float64) bool {
+	return a != b // want "raw float64 != between computed values"
+}
+
+func sentinelZero(a float64) bool {
+	return a == 0 // exact sentinel against a constant is legal
+}
+
+func sentinelConst(a float64) bool {
+	return a != eps // constant operand is legal
+}
+
+func absWithinEps(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func rawLess(a, b float64) bool {
+	return a < b // want "raw float64 < without a tolerance term"
+}
+
+func rawGreaterEq(a, b float64) bool {
+	return a >= b // want "raw float64 >= without a tolerance term"
+}
+
+func literalAdjusted(a, b float64) bool {
+	return a < b+1e-9 // folded float literal counts as a tolerance
+}
+
+func namedTolerance(a, b, tol float64) bool {
+	return a < b+tol
+}
+
+func scaledCompare(lhs, rhs, scale float64) bool {
+	return lhs <= rhs+scale
+}
+
+// approxLE is a blessed epsilon helper: raw comparisons are its job.
+func approxLE(a, b float64) bool {
+	return a <= b
+}
+
+func intCompare(a, b int) bool {
+	return a == b // non-float comparisons are out of scope
+}
+
+func float32Eq(a, b float32) bool {
+	return a == b // want "raw float64 == between computed values"
+}
+
+func allowedExact(a, b float64) bool {
+	return a == b //dartvet:allow floatcmp -- bit-identical memo key comparison
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command in dir and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the import resolver for the gc importer from the
+// export-data paths go list reported.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// newInfo allocates a fully-populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load resolves the package patterns in dir with the go command, parses
+// each matched package, and type-checks it against the export data of its
+// dependencies. It needs no network access and no dependencies beyond the
+// go toolchain: `go list -export` compiles export data into the local
+// build cache and reports its location.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Export,Dir,GoFiles,DepOnly,Error",
+	}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		exports[p.ImportPath] = p.Export
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := typeCheck(fset, imp, t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses the single package in dir (testdata layouts, which the go
+// command ignores) and type-checks it against export data resolved from
+// resolveDir's module. Only standard-library imports are supported, which
+// is all analyzer test fixtures need.
+func LoadDir(dir, resolveDir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	importSet := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+		for _, spec := range af.Imports {
+			importSet[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		args := []string{"list", "-export", "-deps", "-json=ImportPath,Export,Error"}
+		for p := range importSet {
+			args = append(args, p)
+		}
+		listed, err := goList(resolveDir, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	name := syntax[0].Name.Name
+	tpkg, err := conf.Check(name, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", dir, err)
+	}
+	return &Package{ImportPath: name, Dir: dir, Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info}, nil
+}
+
+// typeCheck parses and checks one package's files.
+func typeCheck(fset *token.FileSet, imp types.Importer, importPath string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info}, nil
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestLoadTypeChecksModulePackages(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/milp", "./internal/service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	milp := byPath["dart/internal/milp"]
+	if milp == nil {
+		t.Fatalf("dart/internal/milp not loaded; got %v", byPath)
+	}
+	if milp.Types.Scope().Lookup("Solve") == nil {
+		t.Error("milp.Solve not in package scope")
+	}
+	// Type info must resolve expression types, including ones depending on
+	// imported packages (the whole point of export-data loading).
+	svc := byPath["dart/internal/service"]
+	if svc == nil {
+		t.Fatal("dart/internal/service not loaded")
+	}
+	typed := 0
+	for _, f := range svc.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && svc.TypesInfo.Types[e].Type != nil {
+				typed++
+			}
+			return true
+		})
+	}
+	if typed == 0 {
+		t.Error("no typed expressions recorded for dart/internal/service")
+	}
+}
+
+func TestCollectDirectives(t *testing.T) {
+	const src = `package p
+
+//dartvet:allow ctxloop -- loop bounded by queue close
+func a() {}
+
+//dartvet:allow ctxloop, floatcmp -- two passes, one reason
+func b() {}
+
+//dartvet:allow lockcheck
+func noReason() {}
+
+//dartvet:allow floatcmp --
+func emptyReason() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := collectDirectives(fset, []*ast.File{f})
+
+	at := func(line int) map[string]bool {
+		return allowed[token.Position{Filename: "x.go", Line: line}]
+	}
+	if !at(3)["ctxloop"] {
+		t.Error("single-pass directive not recorded")
+	}
+	if !at(6)["ctxloop"] || !at(6)["floatcmp"] {
+		t.Errorf("comma-separated directive not recorded: %v", at(6))
+	}
+	// Directives without a trailing reason after -- must be ignored: the
+	// reason is the audit trail that makes a suppression reviewable.
+	if at(9) != nil {
+		t.Errorf("directive without -- reason should be ignored, got %v", at(9))
+	}
+	if at(12) != nil {
+		t.Errorf("directive with empty reason should be ignored, got %v", at(12))
+	}
+}

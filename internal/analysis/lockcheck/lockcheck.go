@@ -1,0 +1,232 @@
+// Package lockcheck flags mutex-guarded struct fields accessed outside
+// their mutex. It encodes the service package's concurrency convention:
+// a struct with a sync.Mutex/sync.RWMutex field treats every other field
+// as guarded, and each method either takes the lock before touching them,
+// goes through sync/atomic, or is explicitly named as a caller-holds-lock
+// helper.
+//
+// For every named struct type with a mutex field, a method of that type is
+// checked when it accesses a guarded field through its receiver and none of
+// the following hold:
+//
+//   - the method body calls Lock or RLock on the mutex field (flow
+//     insensitivity is deliberate: taking the lock anywhere in the method
+//     is accepted),
+//   - the field's type lives in sync or sync/atomic (atomic.Bool and
+//     friends guard themselves; nested mutexes are their own locks),
+//   - the access is the &field argument of a sync/atomic call,
+//   - the method's name ends in "Locked" (the convention for helpers whose
+//     callers hold the lock).
+//
+// Remaining intentional unguarded accesses (e.g. fields frozen before the
+// first goroutine starts) carry a //dartvet:allow lockcheck -- <why safe>
+// directive.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dart/internal/analysis"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields of mutex-carrying structs must be accessed under the mutex, via sync/atomic, or in *Locked helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			checkMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+// guardInfo describes the mutex discipline of one struct type.
+type guardInfo struct {
+	mutexField string          // name of the sync.Mutex/RWMutex field
+	guarded    map[string]bool // fields the mutex protects
+}
+
+// structGuard inspects a struct type and returns its discipline, or nil
+// when the struct carries no mutex.
+func structGuard(st *types.Struct) *guardInfo {
+	info := &guardInfo{guarded: map[string]bool{}}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch {
+		case isSyncType(f.Type(), "Mutex"), isSyncType(f.Type(), "RWMutex"):
+			if info.mutexField == "" {
+				info.mutexField = f.Name()
+			}
+		case isSelfGuarding(f.Type()):
+			// sync/atomic values and nested sync types guard themselves.
+		default:
+			info.guarded[f.Name()] = true
+		}
+	}
+	if info.mutexField == "" {
+		return nil
+	}
+	return info
+}
+
+// isSyncType reports whether t is the named sync type (or a pointer to it).
+func isSyncType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == name
+}
+
+// isSelfGuarding reports whether a field of this type needs no external
+// locking: anything from sync or sync/atomic.
+func isSelfGuarding(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "sync" || path == "sync/atomic"
+}
+
+// checkMethod verifies one method against its receiver struct's discipline.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	recvField := fd.Recv.List[0]
+	if len(recvField.Names) == 0 {
+		return
+	}
+	recvName := recvField.Names[0].Name
+	if recvName == "_" {
+		return
+	}
+	recvType := pass.TypeOf(recvField.Type)
+	if recvType == nil {
+		return
+	}
+	if p, ok := recvType.(*types.Pointer); ok {
+		recvType = p.Elem()
+	}
+	named, ok := recvType.(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	guard := structGuard(st)
+	if guard == nil {
+		return
+	}
+	if locksMutex(fd.Body, recvName, guard.mutexField) {
+		return
+	}
+	atomicArgs := atomicCallArgs(pass, fd.Body)
+	seen := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != recvName {
+			return true
+		}
+		field := sel.Sel.Name
+		if !guard.guarded[field] || seen[field] || atomicArgs[sel] {
+			return true
+		}
+		seen[field] = true
+		pass.Reportf(sel.Pos(), "%s.%s accessed in %s without holding %s.%s (lock it, use sync/atomic, or name the method *Locked)",
+			recvName, field, fd.Name.Name, named.Obj().Name(), guard.mutexField)
+		return true
+	})
+}
+
+// locksMutex reports whether the body calls recv.mu.Lock/RLock (or, for an
+// embedded mutex, recv.Lock/recv.RLock).
+func locksMutex(body *ast.BlockStmt, recvName, mutexField string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr: // recv.mu.Lock()
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == recvName && x.Sel.Name == mutexField {
+				found = true
+			}
+		case *ast.Ident: // recv.Lock() via embedded mutex
+			if x.Name == recvName && mutexField == "Mutex" || x.Name == recvName && mutexField == "RWMutex" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// atomicCallArgs collects the selector expressions that appear (behind &)
+// as arguments of sync/atomic calls, which are exempt from the mutex rule.
+func atomicCallArgs(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	out := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := arg.(*ast.UnaryExpr); ok {
+				arg = u.X
+			}
+			if sel, ok := arg.(*ast.SelectorExpr); ok {
+				out[sel] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isAtomicCall reports whether the call's callee comes from sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	pkgName, ok := obj.(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"dart/internal/analysis/analysistest"
+	"dart/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "testdata/src/c")
+}

@@ -1,0 +1,75 @@
+package c
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type registry struct {
+	mu       sync.Mutex
+	count    uint64
+	total    float64
+	hits     uint64
+	draining atomic.Bool
+}
+
+func (r *registry) Inc() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+}
+
+func (r *registry) Bad() uint64 {
+	return r.count // want "r.count accessed in Bad without holding registry.mu"
+}
+
+func (r *registry) BadTwo() float64 {
+	r.count++      // want "r.count accessed in BadTwo without holding registry.mu"
+	return r.total // want "r.total accessed in BadTwo without holding registry.mu"
+}
+
+func (r *registry) ViaAtomic() uint64 {
+	return atomic.LoadUint64(&r.hits)
+}
+
+func (r *registry) SelfGuarding() bool {
+	return r.draining.Load()
+}
+
+func (r *registry) snapshotLocked() uint64 {
+	return r.count
+}
+
+func (r *registry) Allowed() uint64 {
+	return r.count //dartvet:allow lockcheck -- read before workers start
+}
+
+type rwRegistry struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (r *rwRegistry) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+type embedded struct {
+	sync.Mutex
+	n int
+}
+
+func (e *embedded) Inc() {
+	e.Lock()
+	defer e.Unlock()
+	e.n++
+}
+
+func (e *embedded) Bad() int {
+	return e.n // want "e.n accessed in Bad without holding embedded.Mutex"
+}
+
+type plain struct{ n int }
+
+func (p *plain) Get() int { return p.n }

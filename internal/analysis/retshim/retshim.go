@@ -1,0 +1,135 @@
+// Package retshim protects the prepared-problem contract of PR 2: every
+// Solver implementation must route its one-shot FindRepair entry point
+// through the SolveProblem shim, so that grounding-once semantics, the
+// component memo, and warm starts can never be silently bypassed by a
+// solver that re-implements the solve from scratch.
+//
+// For each named type declaring both a FindRepair and a SolveProblem
+// method in the package, the pass checks that FindRepair — directly or
+// transitively through same-package functions and methods — reaches a call
+// to SolveProblem or to the FindRepairCtx dispatcher. The reachability
+// walk is syntactic and package-local, which matches how the shims are
+// written (FindRepair is a thin prepare-then-dispatch wrapper).
+package retshim
+
+import (
+	"go/ast"
+
+	"dart/internal/analysis"
+)
+
+// Analyzer is the retshim pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "retshim",
+	Doc:  "FindRepair implementations must dispatch through the SolveProblem shim (directly or via FindRepairCtx)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	funcs := map[string]*ast.FuncDecl{}              // package-level functions
+	methods := map[string]map[string]*ast.FuncDecl{} // receiver type -> method name -> decl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil {
+				funcs[fd.Name.Name] = fd
+				continue
+			}
+			recv := receiverTypeName(fd)
+			if recv == "" {
+				continue
+			}
+			if methods[recv] == nil {
+				methods[recv] = map[string]*ast.FuncDecl{}
+			}
+			methods[recv][fd.Name.Name] = fd
+		}
+	}
+
+	for recv, ms := range methods {
+		fr, hasFind := ms["FindRepair"]
+		_, hasSolve := ms["SolveProblem"]
+		if !hasFind || !hasSolve {
+			continue
+		}
+		if !reachesSolveProblem(fr, funcs, ms) {
+			pass.Reportf(fr.Name.Pos(), "%s.FindRepair does not route through SolveProblem (call SolveProblem or FindRepairCtx so prepared-problem reuse cannot be bypassed)", recv)
+		}
+	}
+	return nil
+}
+
+// receiverTypeName extracts the base type name of a method receiver.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// reachesSolveProblem walks the package-local call graph from start,
+// looking for a call to SolveProblem or FindRepairCtx.
+func reachesSolveProblem(start *ast.FuncDecl, funcs map[string]*ast.FuncDecl, methods map[string]*ast.FuncDecl) bool {
+	queue := []*ast.FuncDecl{start}
+	visited := map[*ast.FuncDecl]bool{start: true}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if fd.Body == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			switch name {
+			case "SolveProblem", "FindRepairCtx":
+				found = true
+				return false
+			}
+			// Same-receiver methods and package-level functions continue
+			// the walk.
+			if next, ok := methods[name]; ok && !visited[next] {
+				visited[next] = true
+				queue = append(queue, next)
+			} else if next, ok := funcs[name]; ok && !visited[next] {
+				visited[next] = true
+				queue = append(queue, next)
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

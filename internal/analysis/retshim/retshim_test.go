@@ -1,0 +1,12 @@
+package retshim_test
+
+import (
+	"testing"
+
+	"dart/internal/analysis/analysistest"
+	"dart/internal/analysis/retshim"
+)
+
+func TestRetshim(t *testing.T) {
+	analysistest.Run(t, retshim.Analyzer, "testdata/src/d")
+}

@@ -1,0 +1,65 @@
+package d
+
+import "context"
+
+type Problem struct{}
+type Result struct{}
+
+// FindRepairCtx mirrors core's dispatcher; calling it satisfies the shim
+// contract because it routes to SolveProblem itself.
+func FindRepairCtx(ctx context.Context, s interface {
+	SolveProblem(context.Context, *Problem) (*Result, error)
+}) (*Result, error) {
+	return s.SolveProblem(ctx, &Problem{})
+}
+
+type Direct struct{}
+
+func (s *Direct) SolveProblem(ctx context.Context, p *Problem) (*Result, error) {
+	return &Result{}, nil
+}
+
+func (s *Direct) FindRepair() (*Result, error) {
+	return s.SolveProblem(context.Background(), &Problem{})
+}
+
+type Indirect struct{}
+
+func (s *Indirect) SolveProblem(ctx context.Context, p *Problem) (*Result, error) {
+	return &Result{}, nil
+}
+
+func (s *Indirect) FindRepair() (*Result, error) {
+	return s.helper()
+}
+
+func (s *Indirect) helper() (*Result, error) {
+	return s.SolveProblem(context.Background(), nil)
+}
+
+type ViaDispatcher struct{}
+
+func (s *ViaDispatcher) SolveProblem(ctx context.Context, p *Problem) (*Result, error) {
+	return &Result{}, nil
+}
+
+func (s *ViaDispatcher) FindRepair() (*Result, error) {
+	return FindRepairCtx(context.Background(), s)
+}
+
+type Bypass struct{}
+
+func (s *Bypass) SolveProblem(ctx context.Context, p *Problem) (*Result, error) {
+	return &Result{}, nil
+}
+
+func (s *Bypass) FindRepair() (*Result, error) { // want "Bypass.FindRepair does not route through SolveProblem"
+	return &Result{}, nil
+}
+
+// NoShimPair has no SolveProblem method, so its FindRepair is out of scope.
+type NoShimPair struct{}
+
+func (s *NoShimPair) FindRepair() (*Result, error) {
+	return &Result{}, nil
+}

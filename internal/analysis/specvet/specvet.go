@@ -1,0 +1,395 @@
+// Package specvet statically vets designer metadata: the constraint catalog
+// and scheme-mapping information are checked against the declared relation
+// scheme before any document is acquired. It is the spec-mode counterpart of
+// dartvet's code-mode passes, and dartd runs the same checks at job
+// admission so a malformed spec is rejected with diagnostics instead of
+// failing mid-repair.
+//
+// Four diagnostic classes are reported:
+//
+//   - non-steady: a constraint violates Definition 6 — some attribute of
+//     A(κ) ∪ J(κ) is a measure, so the MILP translation of Section 5 does
+//     not apply. Refs carries the offending measure attributes
+//     (SteadyViolations provenance).
+//   - dangling-attr: a constraint, aggregation function, measure, scheme
+//     mapping or classification references an attribute, relation or
+//     pattern cell that does not exist.
+//   - classification-conflict: a WHERE clause compares a classified
+//     attribute to a label the classification never produces, so the
+//     aggregation ranges over a provably empty tuple set.
+//   - infeasible-pair: two ground-free constraints bound the same aggregate
+//     combination incompatibly (e.g. = 5 and = 7), so no database can
+//     satisfy both.
+package specvet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dart/internal/aggrcons"
+	"dart/internal/metadata"
+	"dart/internal/relational"
+)
+
+// The diagnostic classes.
+const (
+	ClassNonSteady      = "non-steady"
+	ClassDanglingAttr   = "dangling-attr"
+	ClassClassification = "classification-conflict"
+	ClassInfeasiblePair = "infeasible-pair"
+)
+
+// Diagnostic is one spec-vetting finding, machine-readable so dartd can
+// return it in a rejection body.
+type Diagnostic struct {
+	// Class is one of the Class* constants.
+	Class string `json:"class"`
+	// Constraint names the offending constraint, when one is implicated.
+	Constraint string `json:"constraint,omitempty"`
+	// Message explains the finding.
+	Message string `json:"message"`
+	// Refs lists implicated attributes or constraints, when structured
+	// provenance exists (e.g. the measure attributes breaking steadiness).
+	Refs []string `json:"refs,omitempty"`
+}
+
+// String renders the diagnostic in the dartvet output style.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]", d.Class)
+	if d.Constraint != "" {
+		fmt.Fprintf(&b, " %s:", d.Constraint)
+	}
+	b.WriteByte(' ')
+	b.WriteString(d.Message)
+	if len(d.Refs) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(d.Refs, ", "))
+	}
+	return b.String()
+}
+
+// Vet checks the metadata and returns all diagnostics in deterministic
+// order: spec-mapping findings first, then per-constraint findings in
+// catalog order, then cross-constraint findings.
+func Vet(md *metadata.Metadata) []Diagnostic {
+	if md.Schema == nil {
+		return []Diagnostic{{Class: ClassDanglingAttr, Message: "metadata declares no relation"}}
+	}
+	var out []Diagnostic
+	db := relational.NewDatabase()
+	if _, err := db.AddRelation(md.Schema); err != nil {
+		return []Diagnostic{{Class: ClassDanglingAttr, Message: err.Error()}}
+	}
+	for _, attr := range md.Measures {
+		if err := db.DesignateMeasure(md.Schema.Name(), attr); err != nil {
+			out = append(out, Diagnostic{
+				Class:   ClassDanglingAttr,
+				Message: fmt.Sprintf("measure %s.%s is not an attribute of the relation", md.Schema.Name(), attr),
+				Refs:    []string{md.Schema.Name() + "." + attr},
+			})
+		}
+	}
+	out = append(out, mappingDiagnostics(md)...)
+	cons := md.Constraints()
+	for _, k := range cons {
+		out = append(out, constraintDiagnostics(md, db, k)...)
+	}
+	out = append(out, infeasiblePairs(cons)...)
+	return out
+}
+
+// mappingDiagnostics checks the scheme mapping and classification blocks for
+// dangling references.
+func mappingDiagnostics(md *metadata.Metadata) []Diagnostic {
+	var out []Diagnostic
+	headlines := map[string]bool{}
+	for _, p := range md.Patterns {
+		for _, c := range p.Cells {
+			headlines[c.Headline] = true
+		}
+	}
+	for _, attr := range sortedKeys(md.CellOf) {
+		cell := md.CellOf[attr]
+		if !md.Schema.HasAttr(attr) {
+			out = append(out, Diagnostic{
+				Class:   ClassDanglingAttr,
+				Message: fmt.Sprintf("scheme mapping maps unknown attribute %q from cell %q", attr, cell),
+				Refs:    []string{md.Schema.Name() + "." + attr},
+			})
+		}
+		if len(md.Patterns) > 0 && !headlines[cell] {
+			out = append(out, Diagnostic{
+				Class:   ClassDanglingAttr,
+				Message: fmt.Sprintf("scheme mapping for attribute %q references unknown pattern cell %q", attr, cell),
+				Refs:    []string{cell},
+			})
+		}
+	}
+	for _, attr := range sortedKeys(md.Classifications) {
+		cls := md.Classifications[attr]
+		if !md.Schema.HasAttr(attr) {
+			out = append(out, Diagnostic{
+				Class:   ClassDanglingAttr,
+				Message: fmt.Sprintf("classification targets unknown attribute %q", attr),
+				Refs:    []string{md.Schema.Name() + "." + attr},
+			})
+		}
+		if cls != nil && cls.FromHeadline != "" && len(md.Patterns) > 0 && !headlines[cls.FromHeadline] {
+			out = append(out, Diagnostic{
+				Class:   ClassDanglingAttr,
+				Message: fmt.Sprintf("classification of %q reads unknown pattern cell %q", attr, cls.FromHeadline),
+				Refs:    []string{cls.FromHeadline},
+			})
+		}
+	}
+	return out
+}
+
+// constraintDiagnostics checks one constraint: structural validity, WHERE
+// and sum-expression attribute references, steadiness, and classification
+// conflicts.
+func constraintDiagnostics(md *metadata.Metadata, db *relational.Database, k *aggrcons.Constraint) []Diagnostic {
+	if err := k.Validate(db); err != nil {
+		return []Diagnostic{{Class: ClassDanglingAttr, Constraint: k.Name, Message: err.Error()}}
+	}
+	var out []Diagnostic
+	for _, call := range k.Calls {
+		f := call.Func
+		s := db.Relation(f.Relation).Schema()
+		for _, a := range f.WhereAttrNames() {
+			if !s.HasAttr(a) {
+				out = append(out, Diagnostic{
+					Class:      ClassDanglingAttr,
+					Constraint: k.Name,
+					Message:    fmt.Sprintf("WHERE of %s references unknown attribute %q of %s", f.Name, a, f.Relation),
+					Refs:       []string{f.Relation + "." + a},
+				})
+			}
+		}
+		if f.Expr != nil {
+			for _, a := range dedupe(f.Expr.Attrs(nil)) {
+				if !s.HasAttr(a) {
+					out = append(out, Diagnostic{
+						Class:      ClassDanglingAttr,
+						Constraint: k.Name,
+						Message:    fmt.Sprintf("sum expression of %s references unknown attribute %q of %s", f.Name, a, f.Relation),
+						Refs:       []string{f.Relation + "." + a},
+					})
+				}
+			}
+		}
+	}
+	if refs := k.SteadyViolations(db); len(refs) > 0 {
+		strs := make([]string, len(refs))
+		for i, r := range refs {
+			strs[i] = r.Relation + "." + r.Attribute
+		}
+		out = append(out, Diagnostic{
+			Class:      ClassNonSteady,
+			Constraint: k.Name,
+			Message:    "constraint is not steady (Definition 6): its WHERE clauses or join variables touch measure attributes, so the MILP translation does not apply",
+			Refs:       strs,
+		})
+	}
+	out = append(out, classificationConflicts(md, k)...)
+	return out
+}
+
+// classificationConflicts flags WHERE comparisons of a classified attribute
+// against a label its classification never produces. The label may be a
+// WHERE constant or a parameter bound to a constant call argument.
+func classificationConflicts(md *metadata.Metadata, k *aggrcons.Constraint) []Diagnostic {
+	var out []Diagnostic
+	for _, call := range k.Calls {
+		f := call.Func
+		aggrcons.WalkCmps(f.Where, func(c aggrcons.Cmp) {
+			if c.Op != aggrcons.CmpEQ && c.Op != aggrcons.CmpNE {
+				return
+			}
+			for _, side := range [][2]aggrcons.Operand{{c.L, c.R}, {c.R, c.L}} {
+				attr, ok := side[0].IsAttr()
+				if !ok {
+					continue
+				}
+				cls := md.Classifications[attr]
+				if cls == nil {
+					continue
+				}
+				label, ok := resolveLabel(side[1], call)
+				if !ok {
+					continue
+				}
+				if classProduced(cls.Classes, label) {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Class:      ClassClassification,
+					Constraint: k.Name,
+					Message: fmt.Sprintf("WHERE of %s compares classified attribute %q to label %q, which the classification of %q never produces — the aggregate is always empty",
+						f.Name, attr, label, attr),
+					Refs: []string{f.Relation + "." + attr, label},
+				})
+			}
+		})
+	}
+	return out
+}
+
+// resolveLabel resolves an operand to a compile-time string label: a WHERE
+// constant directly, or a parameter whose call argument is a constant.
+func resolveLabel(o aggrcons.Operand, call aggrcons.AggCall) (string, bool) {
+	if v, ok := o.IsConst(); ok {
+		if v.Kind() == relational.DomainString {
+			return v.AsString(), true
+		}
+		return "", false
+	}
+	if i, ok := o.IsParam(); ok && i >= 0 && i < len(call.Args) {
+		if v, ok := call.Args[i].IsConst(); ok && v.Kind() == relational.DomainString {
+			return v.AsString(), true
+		}
+	}
+	return "", false
+}
+
+func classProduced(classes map[string]string, label string) bool {
+	for _, c := range classes {
+		if c == label {
+			return true
+		}
+	}
+	return false
+}
+
+// infeasiblePairs flags pairs of ground-free constraints (every call
+// argument a constant) that bound the same aggregate combination
+// incompatibly: no database can satisfy both, so the repair MILP is
+// infeasible before any document is read.
+func infeasiblePairs(cons []*aggrcons.Constraint) []Diagnostic {
+	type entry struct {
+		k   *aggrcons.Constraint
+		sig string
+	}
+	bySig := map[string][]entry{}
+	var sigs []string
+	for _, k := range cons {
+		sig, ok := groundFreeSignature(k)
+		if !ok {
+			continue
+		}
+		if _, seen := bySig[sig]; !seen {
+			sigs = append(sigs, sig)
+		}
+		bySig[sig] = append(bySig[sig], entry{k, sig})
+	}
+	var out []Diagnostic
+	for _, sig := range sigs {
+		es := bySig[sig]
+		for i := 0; i < len(es); i++ {
+			for j := i + 1; j < len(es); j++ {
+				a, b := es[i].k, es[j].k
+				if reason, bad := incompatibleBounds(a.Rel, a.K, b.Rel, b.K); bad {
+					out = append(out, Diagnostic{
+						Class:      ClassInfeasiblePair,
+						Constraint: a.Name,
+						Message: fmt.Sprintf("constraints %s and %s bound the same aggregate combination incompatibly (%s)",
+							a.Name, b.Name, reason),
+						Refs: []string{a.Name, b.Name},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// groundFreeSignature canonicalises the call sum of a constraint whose
+// calls carry no variables: a sorted multiset of coeff|func(args) parts.
+// Constraints with any variable or wildcard argument return ok=false.
+func groundFreeSignature(k *aggrcons.Constraint) (string, bool) {
+	if len(k.Calls) == 0 {
+		return "", false
+	}
+	parts := make([]string, 0, len(k.Calls))
+	for _, call := range k.Calls {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%g|%s(", call.Coeff, call.Func.Name)
+		for i, a := range call.Args {
+			v, ok := a.IsConst()
+			if !ok {
+				return "", false
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s;%d", v.String(), int(v.Kind()))
+		}
+		b.WriteByte(')')
+		parts = append(parts, b.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "+"), true
+}
+
+// incompatibleBounds decides whether two Rel/K bounds on the same quantity
+// contradict each other. boundsTol absorbs float formatting noise in K.
+const boundsTol = 1e-9
+
+func incompatibleBounds(r1 aggrcons.Rel, k1 float64, r2 aggrcons.Rel, k2 float64) (string, bool) {
+	// Normalise so EQ sorts first, then GE before LE.
+	if rank(r1) > rank(r2) {
+		r1, r2, k1, k2 = r2, r1, k2, k1
+	}
+	switch {
+	case r1 == aggrcons.EQ && r2 == aggrcons.EQ:
+		if k1-k2 > boundsTol || k2-k1 > boundsTol {
+			return fmt.Sprintf("= %g vs = %g", k1, k2), true
+		}
+	case r1 == aggrcons.EQ && r2 == aggrcons.LE:
+		if k1 > k2+boundsTol {
+			return fmt.Sprintf("= %g vs <= %g", k1, k2), true
+		}
+	case r1 == aggrcons.EQ && r2 == aggrcons.GE:
+		if k1 < k2-boundsTol {
+			return fmt.Sprintf("= %g vs >= %g", k1, k2), true
+		}
+	case r1 == aggrcons.GE && r2 == aggrcons.LE:
+		if k1 > k2+boundsTol {
+			return fmt.Sprintf(">= %g vs <= %g", k1, k2), true
+		}
+	}
+	return "", false
+}
+
+func rank(r aggrcons.Rel) int {
+	switch r {
+	case aggrcons.EQ:
+		return 0
+	case aggrcons.GE:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package specvet_test
+
+import (
+	"strings"
+	"testing"
+
+	"dart/internal/analysis/specvet"
+	"dart/internal/metadata"
+	"dart/internal/scenario"
+)
+
+// parse builds metadata around a constraints block, using a small fixed
+// scheme: R(K: S, Kind: S, V: Z) with measure V, Kind classified from K.
+func parse(t *testing.T, constraints string) *metadata.Metadata {
+	t.Helper()
+	src := `title vet fixture
+domain D: 'a', 'b'
+
+pattern P:
+  cell K: domain D
+  cell V: Integer
+
+relation R(K: S, Kind: S, V: Z)
+measure R.V
+
+map K from cell K
+map V from cell V
+
+classify Kind from K:
+  'a' -> 'x'
+  'b' -> 'y'
+
+constraints:
+` + constraints + `
+end
+`
+	md, err := metadata.Parse(src)
+	if err != nil {
+		t.Fatalf("fixture metadata does not parse: %v", err)
+	}
+	return md
+}
+
+func TestVetDiagnosticClasses(t *testing.T) {
+	cases := []struct {
+		name        string
+		constraints string
+		wantClass   string // "" means expect no diagnostics
+		wantSubstr  string
+		wantRef     string
+	}{
+		{
+			name: "clean",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE K = p
+  constraint C: R(x, _, _) ==> f(x) >= 0`,
+		},
+		{
+			name: "non-steady where touches measure",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE V = p
+  constraint C: R(_, _, v) ==> f(v) <= 10`,
+			wantClass:  specvet.ClassNonSteady,
+			wantSubstr: "not steady",
+			wantRef:    "R.V",
+		},
+		{
+			name: "non-steady join variable on measure",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE K = p
+  constraint C: R(x, _, y), R(_, x, y) ==> f(x) <= 10`,
+			wantClass: specvet.ClassNonSteady,
+			wantRef:   "R.V",
+		},
+		{
+			name: "dangling attribute in WHERE",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE Missing = p
+  constraint C: R(x, _, _) ==> f(x) = 0`,
+			wantClass:  specvet.ClassDanglingAttr,
+			wantSubstr: `unknown attribute "Missing"`,
+			wantRef:    "R.Missing",
+		},
+		{
+			name: "dangling attribute in sum expression",
+			constraints: `
+  func f(p) := SELECT sum(Ghost) FROM R WHERE K = p
+  constraint C: R(x, _, _) ==> f(x) = 0`,
+			wantClass:  specvet.ClassDanglingAttr,
+			wantSubstr: "sum expression",
+			wantRef:    "R.Ghost",
+		},
+		{
+			name: "classification conflict via constant label",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE Kind = 'zzz' AND K = p
+  constraint C: R(x, _, _) ==> f(x) = 0`,
+			wantClass:  specvet.ClassClassification,
+			wantSubstr: `label "zzz"`,
+			wantRef:    "R.Kind",
+		},
+		{
+			name: "classification conflict via parameter label",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE Kind = p
+  constraint C: R(x, _, _) ==> f('nope') = 0`,
+			wantClass:  specvet.ClassClassification,
+			wantSubstr: `label "nope"`,
+		},
+		{
+			name: "produced labels do not conflict",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE Kind = 'x' AND K = p
+  constraint C: R(x, _, _) ==> f(x) = 0`,
+		},
+		{
+			name: "infeasible equal pair",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE K = p
+  constraint A: R(x, _, _) ==> f('a') = 5
+  constraint B: R(x, _, _) ==> f('a') = 7`,
+			wantClass:  specvet.ClassInfeasiblePair,
+			wantSubstr: "= 5 vs = 7",
+			wantRef:    "B",
+		},
+		{
+			name: "infeasible bound pair",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE K = p
+  constraint Low: R(x, _, _) ==> f('a') <= 3
+  constraint High: R(x, _, _) ==> f('a') >= 8`,
+			wantClass:  specvet.ClassInfeasiblePair,
+			wantSubstr: ">= 8 vs <= 3",
+		},
+		{
+			name: "compatible bound pair",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE K = p
+  constraint Low: R(x, _, _) ==> f('a') >= 3
+  constraint High: R(x, _, _) ==> f('a') <= 8`,
+		},
+		{
+			name: "grounded constraints never pair",
+			constraints: `
+  func f(p) := SELECT sum(V) FROM R WHERE K = p
+  constraint A: R(x, _, _) ==> f(x) = 5
+  constraint B: R(x, _, _) ==> f(x) = 7`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			md := parse(t, tc.constraints)
+			diags := specvet.Vet(md)
+			if tc.wantClass == "" {
+				if len(diags) != 0 {
+					t.Fatalf("want no diagnostics, got %v", diags)
+				}
+				return
+			}
+			if len(diags) == 0 {
+				t.Fatalf("want a %s diagnostic, got none", tc.wantClass)
+			}
+			var hit *specvet.Diagnostic
+			for i := range diags {
+				if diags[i].Class == tc.wantClass {
+					hit = &diags[i]
+					break
+				}
+			}
+			if hit == nil {
+				t.Fatalf("no %s diagnostic in %v", tc.wantClass, diags)
+			}
+			if tc.wantSubstr != "" && !strings.Contains(hit.String(), tc.wantSubstr) {
+				t.Errorf("diagnostic %q does not mention %q", hit, tc.wantSubstr)
+			}
+			if tc.wantRef != "" {
+				found := false
+				for _, r := range hit.Refs {
+					if r == tc.wantRef {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("diagnostic refs %v do not include %q", hit.Refs, tc.wantRef)
+				}
+			}
+		})
+	}
+}
+
+// Hand-assembled metadata exercises the dangling classes Parse would have
+// rejected before Vet ever ran.
+func TestVetDanglingMappings(t *testing.T) {
+	md := parse(t, `
+  func f(p) := SELECT sum(V) FROM R WHERE K = p
+  constraint C: R(x, _, _) ==> f(x) >= 0`)
+
+	md.Measures = append(md.Measures, "NoSuch")
+	md.CellOf["Phantom"] = "NoCell"
+	md.Classifications["Ghost"] = md.Classifications["Kind"]
+
+	diags := specvet.Vet(md)
+	want := map[string]bool{
+		"measure R.NoSuch is not an attribute of the relation":                            false,
+		`scheme mapping maps unknown attribute "Phantom" from cell "NoCell"`:              false,
+		`scheme mapping for attribute "Phantom" references unknown pattern cell "NoCell"`: false,
+		`classification targets unknown attribute "Ghost"`:                                false,
+	}
+	for _, d := range diags {
+		if d.Class != specvet.ClassDanglingAttr {
+			t.Errorf("unexpected class %s: %s", d.Class, d)
+		}
+		for w := range want {
+			if strings.Contains(d.Message, w) {
+				want[w] = true
+			}
+		}
+	}
+	for w, seen := range want {
+		if !seen {
+			t.Errorf("missing dangling diagnostic %q in %v", w, diags)
+		}
+	}
+}
+
+func TestVetNoRelation(t *testing.T) {
+	diags := specvet.Vet(&metadata.Metadata{})
+	if len(diags) != 1 || diags[0].Class != specvet.ClassDanglingAttr {
+		t.Fatalf("want one dangling-attr diagnostic, got %v", diags)
+	}
+}
+
+// The shipped scenarios are the calibration set: all of them must vet
+// clean, or dartd would reject its own examples at admission.
+func TestBuiltinScenariosVetClean(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		get  func() (*metadata.Metadata, error)
+	}{
+		{"cashbudget", scenario.CashBudget},
+		{"catalog", scenario.Catalog},
+		{"balancesheet", scenario.BalanceSheet},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			md, err := tc.get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diags := specvet.Vet(md); len(diags) != 0 {
+				t.Errorf("scenario %s does not vet clean: %v", tc.name, diags)
+			}
+		})
+	}
+}

@@ -141,6 +141,7 @@ func componentItems(sys *System, violated []int, frozen []bool) []int {
 	}
 	var find func(int) int
 	find = func(x int) int {
+		//dartvet:allow ctxloop -- union-find path halving strictly shortens the chain
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]

@@ -224,6 +224,7 @@ func (s *System) Split() []*System {
 	}
 	var find func(int) int
 	find = func(x int) int {
+		//dartvet:allow ctxloop -- union-find path halving strictly shortens the chain
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]

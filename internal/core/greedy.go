@@ -11,6 +11,10 @@ import (
 )
 
 // greedyPick selects which item of a violated row a greedy heuristic blames.
+// convergeTol decides when a solved-for value already equals the current
+// one: integer targets are rounded, so anything below it is float noise.
+const convergeTol = 1e-9
+
 type greedyPick int
 
 const (
@@ -107,7 +111,7 @@ func greedySolve(prob *Problem, forced map[Item]float64, pick greedyPick, maxIte
 		if sys.Domains[idx] == relational.DomainInt {
 			target = math.Round(target)
 		}
-		if target == vals[idx] {
+		if math.Abs(target-vals[idx]) <= convergeTol {
 			// The exact solution is already the current value (an
 			// inequality row): nudge to the boundary side instead.
 			break
@@ -130,13 +134,14 @@ type GreedyLocalSolver struct {
 // Name implements Solver.
 func (s *GreedyLocalSolver) Name() string { return "greedy-local" }
 
-// FindRepair implements Solver.
+// FindRepair implements Solver by preparing the problem once and routing
+// through SolveProblem, so prepared-problem reuse cannot be bypassed.
 func (s *GreedyLocalSolver) FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
 	prob, err := Prepare(db, acs)
 	if err != nil {
 		return nil, err
 	}
-	return greedySolve(prob, forced, pickRarest, s.MaxIters)
+	return s.SolveProblem(context.Background(), prob, forced)
 }
 
 // SolveProblem implements Solver on the prepared system.
@@ -159,13 +164,14 @@ type GreedyAggregateSolver struct {
 // Name implements Solver.
 func (s *GreedyAggregateSolver) Name() string { return "greedy-aggregate" }
 
-// FindRepair implements Solver.
+// FindRepair implements Solver by preparing the problem once and routing
+// through SolveProblem, so prepared-problem reuse cannot be bypassed.
 func (s *GreedyAggregateSolver) FindRepair(db *relational.Database, acs []*aggrcons.Constraint, forced map[Item]float64) (*Result, error) {
 	prob, err := Prepare(db, acs)
 	if err != nil {
 		return nil, err
 	}
-	return greedySolve(prob, forced, pickCommonest, s.MaxIters)
+	return s.SolveProblem(context.Background(), prob, forced)
 }
 
 // SolveProblem implements Solver on the prepared system.

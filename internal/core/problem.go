@@ -228,6 +228,7 @@ func warmCutoff(sub *System, candidate []float64, forced map[Item]float64, mBoun
 	}
 	card := 0.0
 	for i, v := range vals {
+		//dartvet:allow floatcmp -- candidates are copied bit-for-bit from solvedValues, so inequality means a real change
 		if v != sub.V[i] {
 			d := v - sub.V[i]
 			if d < 0 {

@@ -252,9 +252,7 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 			total.Escalations += res.Escalations
 		}
 		total.Components++
-		if res.M > total.M {
-			total.M = res.M
-		}
+		total.M = max(total.M, res.M)
 		if res.Status != milp.StatusOptimal {
 			return &Result{Status: res.Status, Nodes: total.Nodes, Iterations: total.Iterations, Components: total.Components, ComponentsReused: total.ComponentsReused}, nil
 		}

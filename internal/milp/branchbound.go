@@ -69,6 +69,7 @@ type nodeQueue []*bbNode
 func (q nodeQueue) Len() int      { return len(q) }
 func (q nodeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 func (q nodeQueue) Less(i, j int) bool {
+	//dartvet:allow floatcmp -- heap ordering needs a total order; fuzzy ties would break the heap invariant
 	if q[i].bound != q[j].bound {
 		return q[i].bound < q[j].bound
 	}
@@ -117,6 +118,7 @@ func objIsIntegral(m *Model) bool {
 		if c == 0 {
 			continue
 		}
+		//dartvet:allow floatcmp -- exact integrality gates a safe-only bound tightening; false negatives just skip it
 		if m.vtype[j] == Continuous || c != math.Trunc(c) {
 			return false
 		}
@@ -273,6 +275,7 @@ func mostFractional(m *Model, x []float64, tol float64) int {
 		if m.vtype[j] == Continuous {
 			continue
 		}
+		//dartvet:allow floatcmp -- bestDist is seeded with the integrality tolerance, so the comparison is already fuzzed
 		if d := math.Abs(x[j] - math.Round(x[j])); d > bestDist {
 			best, bestDist = j, d
 		}
@@ -310,6 +313,7 @@ func roundingHeuristic(m *Model, opt MILPOptions, x []float64, lb, ub []float64)
 		v := math.Round(x[j])
 		// Round indicator-style variables up rather than to nearest: for
 		// big-M formulations the LP drives them artificially low.
+		//dartvet:allow floatcmp -- v < x[j] tests the rounding direction, not a magnitude
 		if x[j] > opt.IntTol*100 && v < x[j] {
 			v = math.Ceil(x[j] - opt.IntTol)
 		}

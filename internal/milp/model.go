@@ -185,6 +185,7 @@ func (m *Model) Validate() error {
 		if math.IsNaN(m.lb[i]) || math.IsNaN(m.ub[i]) {
 			return fmt.Errorf("milp: variable %s has NaN bound", m.names[i])
 		}
+		//dartvet:allow floatcmp -- bound validation is exact by design; any inversion is a modeling bug
 		if m.lb[i] > m.ub[i] {
 			return fmt.Errorf("milp: variable %s has reversed bounds [%v, %v]", m.names[i], m.lb[i], m.ub[i])
 		}

@@ -346,6 +346,7 @@ func (s *simplex) chooseEntering(c []float64) (enter int, dir float64) {
 		if s.bland {
 			return j, dd
 		}
+		//dartvet:allow floatcmp -- pricing pick; best is seeded with the pricing tolerance
 		if dj2 < best {
 			best, enter, dir = dj2, j, dd
 		}
@@ -526,6 +527,7 @@ func (s *simplex) step(enter int, dir float64, r ratioResult, updateD bool) {
 // LP is infeasible, and an error on iteration exhaustion.
 func (s *simplex) phase1() (feasible bool, err error) {
 	g := make([]float64, s.n)
+	//dartvet:allow ctxloop -- bounded by the opt.MaxIters check on entry; milp.Solve polls Cancel between LP solves
 	for {
 		if s.iters >= s.opt.MaxIters {
 			return false, fmt.Errorf("milp: simplex phase 1 exceeded %d iterations", s.opt.MaxIters)
@@ -553,6 +555,7 @@ func (s *simplex) phase1() (feasible bool, err error) {
 func (s *simplex) phase2() (Status, error) {
 	s.computeReducedCosts()
 	recompute := 0
+	//dartvet:allow ctxloop -- bounded by the opt.MaxIters check on entry; milp.Solve polls Cancel between LP solves
 	for {
 		if s.iters >= s.opt.MaxIters {
 			return StatusIterLimit, nil

@@ -79,6 +79,7 @@ func (c *resultCache) put(key [sha256.Size]byte, res *ResultJSON) {
 		return
 	}
 	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	//dartvet:allow ctxloop -- eviction removes one entry per iteration, bounded by c.cap
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"dart/internal/analysis/specvet"
 )
 
 // maxBodyBytes bounds request bodies (documents are page-sized; 8 MiB is
@@ -52,8 +54,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "job spec needs a document")
 		return
 	}
-	if _, err := ResolveMetadata(spec); err != nil {
+	md, err := ResolveMetadata(spec)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Admission-time spec vetting: the same checks dartvet -spec runs.
+	// Rejecting here turns a doomed worker run into an immediate,
+	// machine-readable 422.
+	if diags := specvet.Vet(md); len(diags) > 0 {
+		s.metrics.SpecRejected()
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":       fmt.Sprintf("spec failed vetting with %d diagnostic(s)", len(diags)),
+			"diagnostics": diags,
+		})
 		return
 	}
 	if _, err := resolveSolver(spec.Solver); err != nil {

@@ -75,6 +75,7 @@ type Metrics struct {
 	resolveSeconds *histogram
 	compSolved     uint64
 	compReused     uint64
+	specRejections uint64
 	cacheHits      uint64
 	cacheMisses    uint64
 	queueDepth     func() int
@@ -167,6 +168,14 @@ func (m *Metrics) JobFinished(state JobState, d time.Duration, res *ResultJSON) 
 	}
 }
 
+// SpecRejected counts one submission rejected by admission-time spec
+// vetting.
+func (m *Metrics) SpecRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.specRejections++
+}
+
 // Retry counts one retried attempt.
 func (m *Metrics) Retry() {
 	m.mu.Lock()
@@ -213,6 +222,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "dartd_jobs_total{state=%q} %d\n", string(s), m.finished[s])
 	}
+
+	fmt.Fprintln(w, "# HELP dart_spec_rejections_total Submissions rejected by admission-time spec vetting.")
+	fmt.Fprintln(w, "# TYPE dart_spec_rejections_total counter")
+	fmt.Fprintf(w, "dart_spec_rejections_total %d\n", m.specRejections)
 
 	fmt.Fprintln(w, "# HELP dartd_job_retries_total Job attempts retried after transient failures.")
 	fmt.Fprintln(w, "# TYPE dartd_job_retries_total counter")

@@ -89,6 +89,7 @@ func (p *Pool) Start() {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
+			//dartvet:allow ctxloop -- worker drains until the queue channel closes; per-job cancellation lives in runJob
 			for job := range p.Queue.ch {
 				p.runJob(job)
 			}

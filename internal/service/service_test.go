@@ -162,6 +162,82 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// vetFailingMetadata parses fine but fails spec vetting: the constraint's
+// WHERE clause touches the measure attribute, so it is not steady.
+const vetFailingMetadata = `title vet reject fixture
+domain D: 'a', 'b'
+
+pattern P:
+  cell K: domain D
+  cell V: Integer
+
+relation R(K: S, Kind: S, V: Z)
+measure R.V
+
+map K from cell K
+map V from cell V
+
+classify Kind from K:
+  'a' -> 'x'
+  'b' -> 'y'
+
+constraints:
+  func f(p) := SELECT sum(V) FROM R WHERE V = p
+  constraint C: R(_, _, v) ==> f(v) <= 10
+end
+`
+
+// TestSubmitSpecVetRejection covers the 422 admission path: a parseable but
+// vet-failing spec is rejected with machine-readable diagnostics and counts
+// toward dart_spec_rejections_total.
+func TestSubmitSpecVetRejection(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	raw, _ := json.Marshal(JobSpec{Document: "x", Metadata: vetFailingMetadata})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	var env struct {
+		Error       string `json:"error"`
+		Diagnostics []struct {
+			Class      string   `json:"class"`
+			Constraint string   `json:"constraint"`
+			Message    string   `json:"message"`
+			Refs       []string `json:"refs"`
+		} `json:"diagnostics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error == "" || len(env.Diagnostics) == 0 {
+		t.Fatalf("rejection envelope incomplete: %+v", env)
+	}
+	d := env.Diagnostics[0]
+	if d.Class != "non-steady" || d.Constraint != "C" {
+		t.Errorf("diagnostic = %+v, want class non-steady for constraint C", d)
+	}
+	if len(d.Refs) == 0 || d.Refs[0] != "R.V" {
+		t.Errorf("diagnostic refs = %v, want [R.V]", d.Refs)
+	}
+
+	metrics, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(metrics.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dart_spec_rejections_total 1") {
+		t.Errorf("/metrics does not count the rejection:\n%s", buf.String())
+	}
+}
+
 // TestJobNotFoundAnd405 covers the remaining error routes.
 func TestJobNotFoundAnd405(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
