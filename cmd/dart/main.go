@@ -41,6 +41,7 @@ func run() error {
 		interactive  = flag.Bool("interactive", false, "validate proposed repairs on stdin")
 		showMILP     = flag.Bool("show-milp", false, "print the S*(AC) MILP instance (Fig. 4 style)")
 		solverName   = flag.String("solver", "milp", "repair solver: milp, milp-literal, cardsearch, greedy-aggregate, greedy-local")
+		solverWork   = flag.Int("solver-workers", 0, "branch-and-bound worker budget for the MILP solvers (0 = GOMAXPROCS); never changes the repair")
 		saveFile     = flag.String("save", "", "write the repaired database to this file (relational text format)")
 		lpFile       = flag.String("save-lp", "", "write the S*(AC) MILP instance to this file (CPLEX LP format)")
 		timeout      = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s); 0 = no limit")
@@ -62,7 +63,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	solver, err := pickSolver(*solverName)
+	solver, err := pickSolver(*solverName, *solverWork)
 	if err != nil {
 		return err
 	}
@@ -192,12 +193,12 @@ func loadDocument(file string) (string, error) {
 	return string(src), nil
 }
 
-func pickSolver(name string) (core.Solver, error) {
+func pickSolver(name string, solverWorkers int) (core.Solver, error) {
 	switch name {
 	case "milp":
-		return &core.MILPSolver{Formulation: core.FormulationReduced}, nil
+		return &core.MILPSolver{Formulation: core.FormulationReduced, SolverWorkers: solverWorkers}, nil
 	case "milp-literal":
-		return &core.MILPSolver{Formulation: core.FormulationLiteral}, nil
+		return &core.MILPSolver{Formulation: core.FormulationLiteral, SolverWorkers: solverWorkers}, nil
 	case "cardsearch":
 		return &core.CardinalitySearchSolver{}, nil
 	case "greedy-aggregate":

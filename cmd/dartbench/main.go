@@ -8,16 +8,23 @@
 //	dartbench -run E2,E6      # a subset
 //	dartbench -quick          # smaller corpora (fast smoke run)
 //	dartbench -seed 7         # change the corpus seed
+//	dartbench -json out.json  # machine-readable micro-benchmarks, then exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
+	"dart/internal/core"
 	"dart/internal/experiments"
+	"dart/internal/milp"
+	"dart/internal/runningex"
 )
 
 func main() {
@@ -32,8 +39,13 @@ func run() error {
 		runList = flag.String("run", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 		quick   = flag.Bool("quick", false, "smaller corpora for a fast run")
 		seed    = flag.Int64("seed", 42, "corpus random seed")
+		jsonOut = flag.String("json", "", "write {bench, ns_op, allocs_op} micro-benchmark rows to this file and exit")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		return writeBenchJSON(*jsonOut)
+	}
 
 	docs := 40
 	e10docs := 30
@@ -81,4 +93,77 @@ func run() error {
 		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// benchMILPModel builds a reproducible random integer program exercising
+// the branch-and-bound kernel.
+func benchMILPModel(seed int64) *milp.Model {
+	r := rand.New(rand.NewSource(seed))
+	m := milp.NewModel()
+	nv := 8
+	for j := 0; j < nv; j++ {
+		m.AddVar("x", 0, float64(1+r.Intn(4)), milp.Integer, float64(r.Intn(13)-6))
+	}
+	for i := 0; i < 4; i++ {
+		terms := make([]milp.Term, nv)
+		for j := 0; j < nv; j++ {
+			terms[j] = milp.Term{Var: milp.Var(j), Coeff: float64(r.Intn(9) - 4)}
+		}
+		rel := []milp.Rel{milp.LE, milp.GE}[r.Intn(2)]
+		m.MustAddConstraint("c", terms, rel, float64(r.Intn(19)-6))
+	}
+	return m
+}
+
+// writeBenchJSON runs the micro-benchmark suite via testing.Benchmark and
+// writes one {bench, ns_op, allocs_op} row per benchmark, giving CI a
+// machine-readable perf baseline per PR.
+func writeBenchJSON(path string) error {
+	milpBench := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := milp.Solve(benchMILPModel(7331), milp.MILPOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"MILPSolveSeq", milpBench(1)},
+		{"MILPSolvePar4", milpBench(4)},
+		{"RepairRunningExample", func(b *testing.B) {
+			b.ReportAllocs()
+			cons := runningex.Constraints()
+			for i := 0; i < b.N; i++ {
+				db := runningex.AcquiredDatabase()
+				res, err := (&core.MILPSolver{}).FindRepair(db, cons, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != milp.StatusOptimal {
+					b.Fatalf("status %v", res.Status)
+				}
+			}
+		}},
+	}
+	type row struct {
+		Bench    string  `json:"bench"`
+		NsOp     float64 `json:"ns_op"`
+		AllocsOp int64   `json:"allocs_op"`
+	}
+	rows := make([]row, 0, len(benches))
+	for _, be := range benches {
+		r := testing.Benchmark(be.fn)
+		rows = append(rows, row{Bench: be.name, NsOp: float64(r.NsPerOp()), AllocsOp: r.AllocsPerOp()})
+		fmt.Printf("%-24s %12d ns/op %8d allocs/op\n", be.name, r.NsPerOp(), r.AllocsPerOp())
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -148,6 +148,9 @@ type Result struct {
 	// many of those re-solves the prepared problem served from its memo
 	// without solver work (nonzero only in multi-iteration operator loops).
 	ComponentsSolved, ComponentsReused int
+	// SolverNodes totals the branch-and-bound nodes explored by the repair
+	// solver (schedule-dependent when solving with parallel workers).
+	SolverNodes int
 }
 
 // Acquire runs the acquisition and extraction module: format detection and
@@ -260,6 +263,7 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 		res.Repaired = repaired
 		res.ComponentsSolved = r.Components - r.ComponentsReused
 		res.ComponentsReused = r.ComponentsReused
+		res.SolverNodes = r.Nodes
 		return res, nil
 	}
 	session := &validate.Session{
@@ -286,6 +290,7 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 	res.Validation = out
 	res.ComponentsSolved = out.ComponentsSolved
 	res.ComponentsReused = out.ComponentsReused
+	res.SolverNodes = out.SolverNodes
 	return res, nil
 }
 

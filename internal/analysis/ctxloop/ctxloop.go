@@ -11,8 +11,10 @@
 //   - calling Err or Done on a context.Context (ctx.Err() poll, select on
 //     ctx.Done()),
 //   - referencing a Cancel field or method (the MILPOptions.Cancel hook),
-//   - passing a context.Context or a milp.MILPOptions value to a callee,
-//     which delegates the polling obligation downstream.
+//   - passing a context.Context, a milp.MILPOptions value, or a struct
+//     carrying one (a MILPOptions field or a Cancel hook field, like the
+//     solver's shared problem description) to a callee, which delegates
+//     the polling obligation downstream.
 //
 // Loops that are bounded for non-syntactic reasons carry a
 // //dartvet:allow ctxloop -- <why it terminates> directive.
@@ -115,8 +117,9 @@ func isContext(t types.Type) bool {
 }
 
 // delegatesCancellation reports whether passing a value of type t hands the
-// polling obligation to the callee: a context, or an options struct that
-// carries the Cancel hook.
+// polling obligation to the callee: a context, the options struct that
+// carries the Cancel hook, or a wrapper struct embedding either (the
+// obligation composes — whoever holds the hook can poll it).
 func delegatesCancellation(t types.Type) bool {
 	if t == nil {
 		return false
@@ -124,9 +127,28 @@ func delegatesCancellation(t types.Type) bool {
 	if isContext(t) {
 		return true
 	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
 	named, ok := t.(*types.Named)
 	if !ok {
 		return false
 	}
-	return named.Obj() != nil && named.Obj().Name() == "MILPOptions"
+	if named.Obj() != nil && named.Obj().Name() == "MILPOptions" {
+		return true
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Cancel" {
+			return true
+		}
+		if fn, ok := f.Type().(*types.Named); ok && fn.Obj() != nil && fn.Obj().Name() == "MILPOptions" {
+			return true
+		}
+	}
+	return false
 }

@@ -97,3 +97,59 @@ func delegatesOptions(o MILPOptions) {
 		}
 	}
 }
+
+// problem mirrors the parallel branch-and-bound problem description: a
+// wrapper struct carrying the options (and so the Cancel hook). Passing it
+// to a callee delegates polling, exactly like passing the options directly.
+type problem struct {
+	opt MILPOptions
+}
+
+// frontier mirrors the shared work queue; next polls p.opt.Cancel under the
+// queue lock before handing out a node.
+type frontier struct{}
+
+func (f *frontier) next(p *problem) *int { _ = p; return nil }
+
+// workerFrontierLoop is the parallel solver's worker shape: an unbounded
+// dequeue loop whose only cancellation participation is handing the
+// problem wrapper to the frontier. Must pass.
+func workerFrontierLoop(f *frontier, p *problem) {
+	for {
+		node := f.next(p)
+		if node == nil {
+			return
+		}
+		work()
+	}
+}
+
+// plainWrapper has no Cancel hook and no options field: passing it
+// delegates nothing, so the loop is still flagged.
+type plainWrapper struct {
+	n int
+}
+
+func consume(w *plainWrapper) {}
+
+func wrapperWithoutHook(w *plainWrapper) {
+	for { // want "potentially unbounded loop does not poll cancellation"
+		consume(w)
+	}
+}
+
+// hookWrapper carries a Cancel field directly (not via MILPOptions); the
+// obligation composes the same way.
+type hookWrapper struct {
+	Cancel func() error
+}
+
+func drive(h *hookWrapper) error { return nil }
+
+func wrapperWithHookField(h *hookWrapper) {
+	for {
+		if err := drive(h); err != nil {
+			return
+		}
+	}
+}

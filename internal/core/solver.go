@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -94,6 +96,13 @@ type MILPSolver struct {
 	// subproblems, so parallel solving is exact; results merge in
 	// deterministic component order.
 	Workers int
+	// SolverWorkers is the total branch-and-bound worker budget shared by
+	// all concurrently solving components (two-level parallelism:
+	// components x nodes). 0 means GOMAXPROCS. Each component solve gets
+	// budget/active-components node workers (at least one); worker counts
+	// never change results (see milp.MILPOptions.Workers), so neither
+	// Workers nor SolverWorkers participates in the memo fingerprint.
+	SolverWorkers int
 	// MaxEscalations bounds big-M escalation attempts (default 3).
 	MaxEscalations int
 	// DisableWarmStart turns off the warm-start cutoff derived from a
@@ -141,7 +150,7 @@ func (s *MILPSolver) SolveProblem(ctx context.Context, prob *Problem, forced map
 	var res *Result
 	var err error
 	if s.DisableDecomposition {
-		res, err = s.solveSystem(ctx, prob.System(), forced, prob.Database(), nil)
+		res, err = s.solveSystem(ctx, prob.System(), forced, prob.Database(), nil, s.nodeWorkers(1))
 	} else {
 		res, err = s.solvePrepared(ctx, prob, forced)
 	}
@@ -194,10 +203,18 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 		pending = append(pending, pendingComp{ci, sub})
 	}
 
+	// Split the node-worker budget across the components that actually solve
+	// concurrently; a lone (or sequential) component gets the whole budget.
+	concurrent := 1
+	if s.Workers > 1 && len(pending) > 1 {
+		concurrent = min(s.Workers, len(pending))
+	}
+	nodeWorkers := s.nodeWorkers(concurrent)
+
 	results := make([]*Result, len(pending))
 	reused := make([]bool, len(pending))
 	errs := make([]error, len(pending))
-	solveOne := func(i int, pc pendingComp) {
+	solveOne := func(ctx context.Context, i int, pc pendingComp) {
 		key := pinKey(pc.sub, forced)
 		if m, ok := prob.lookupComponent(fp, pc.ci, key); ok {
 			results[i] = m.res
@@ -208,7 +225,7 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 		if !s.DisableWarmStart {
 			warm = prob.warmStart(fp, pc.ci)
 		}
-		res, err := s.solveSystem(ctx, pc.sub, forced, prob.Database(), warm)
+		res, err := s.solveSystem(ctx, pc.sub, forced, prob.Database(), warm, nodeWorkers)
 		if err != nil {
 			errs[i] = err
 			return
@@ -220,7 +237,12 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 		prob.storeComponent(fp, pc.ci, key, res, vals)
 		results[i] = res
 	}
-	if s.Workers > 1 && len(pending) > 1 {
+	if concurrent > 1 {
+		// A failing component solve cancels its siblings instead of letting
+		// them run to completion; the error returned below is still picked
+		// deterministically (lowest component index wins).
+		cctx, cancelAll := context.WithCancel(ctx)
+		defer cancelAll()
 		sem := make(chan struct{}, s.Workers)
 		var wg sync.WaitGroup
 		for i, pc := range pending {
@@ -229,20 +251,45 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				solveOne(i, pc)
+				solveOne(cctx, i, pc)
+				if errs[i] != nil {
+					cancelAll()
+				}
 			}(i, pc)
 		}
 		wg.Wait()
 	} else {
 		for i, pc := range pending {
-			solveOne(i, pc)
+			solveOne(ctx, i, pc)
+			if errs[i] != nil {
+				break
+			}
 		}
 	}
 
+	// Pick the surfaced error deterministically: the lowest-index component
+	// with a real failure wins; sibling aborts triggered by cancelAll (plain
+	// context.Canceled not caused by the caller's own context) never mask it.
+	var firstErr error
 	for i := range pending {
-		if errs[i] != nil {
-			return nil, errs[i]
+		if errs[i] != nil && !errors.Is(errs[i], context.Canceled) {
+			firstErr = errs[i]
+			break
 		}
+	}
+	if firstErr == nil {
+		for i := range pending {
+			if errs[i] != nil {
+				firstErr = errs[i]
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for i := range pending {
 		res := results[i]
 		if reused[i] {
 			total.ComponentsReused++
@@ -261,12 +308,28 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 	return total, nil
 }
 
+// nodeWorkers splits the branch-and-bound worker budget across concurrent
+// component solves: each gets at least one node worker, and a lone
+// component gets the whole budget.
+func (s *MILPSolver) nodeWorkers(concurrent int) int {
+	budget := s.SolverWorkers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	return max(1, budget/concurrent)
+}
+
 // solveSystem compiles and solves one system, escalating the big-M bound
 // when it proves binding or spuriously infeasible. A non-nil warm vector
 // (the solved values of a previous solve of the same system under other
 // pins) is turned into an exactness-preserving branch-and-bound cutoff
 // whenever it remains feasible under the current pins and M bound.
-func (s *MILPSolver) solveSystem(ctx context.Context, sys *System, forced map[Item]float64, db *relational.Database, warm []float64) (*Result, error) {
+// nodeWorkers is this solve's share of the branch-and-bound worker budget;
+// an explicit Options.Workers takes precedence.
+func (s *MILPSolver) solveSystem(ctx context.Context, sys *System, forced map[Item]float64, db *relational.Database, warm []float64, nodeWorkers int) (*Result, error) {
 	maxEsc := s.MaxEscalations
 	if maxEsc == 0 {
 		maxEsc = 3
@@ -274,6 +337,9 @@ func (s *MILPSolver) solveSystem(ctx context.Context, sys *System, forced map[It
 	opts := s.Options
 	if ctx.Done() != nil {
 		opts.Cancel = ctx.Err
+	}
+	if opts.Workers == 0 {
+		opts.Workers = nodeWorkers
 	}
 	mBound := s.BigM
 	if mBound <= 0 {

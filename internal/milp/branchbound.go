@@ -1,9 +1,10 @@
 package milp
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // MILPOptions tunes the branch-and-bound search. The zero value selects
@@ -17,10 +18,20 @@ type MILPOptions struct {
 	IntTol float64
 	// DisableRounding turns off the LP-rounding incumbent heuristic.
 	DisableRounding bool
+	// Workers is the number of branch-and-bound workers pulling nodes from
+	// the shared best-first frontier; 0 means GOMAXPROCS, 1 solves
+	// sequentially (inline, no goroutines). Worker count never changes the
+	// result of a completed search: incumbent ties resolve by a
+	// deterministic node-sequence rule, so parallel and sequential solves
+	// return the same status, objective, and solution (see parallel.go for
+	// the argument; node and iteration COUNTS do vary with scheduling).
+	Workers int
 	// Cancel, when non-nil, is polled once per branch-and-bound node (and
 	// once before a pure-LP dispatch); a non-nil return aborts the solve
 	// with that error. Callers plumb context cancellation through it as
 	// ctx.Err, so deadline and cancellation semantics survive unwrapped.
+	// With more than one worker the hook is called concurrently and must be
+	// goroutine-safe (ctx.Err is).
 	Cancel func() error
 	// CutoffObjective, when non-nil, declares that a feasible solution with
 	// this objective value is already known (a warm start from a previous
@@ -45,23 +56,67 @@ func (o MILPOptions) withDefaults() MILPOptions {
 	return o
 }
 
+// workerCount resolves the configured worker count.
+func (o MILPOptions) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // MILPResult is the outcome of a mixed-integer solve.
 type MILPResult struct {
 	Status    Status
 	Objective float64
 	X         []float64
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes explored. Under
+	// parallel search the count depends on scheduling (stale incumbents
+	// under-prune), so it is reproducible only with Workers == 1.
 	Nodes int
-	// Iterations is the total simplex pivot count across all nodes.
+	// Iterations is the total simplex pivot count across all nodes; like
+	// Nodes it is schedule-dependent when solving in parallel.
 	Iterations int
 }
 
-// bbNode is one branch-and-bound subproblem: the model with tightened
-// variable bounds, ordered by its parent's LP bound.
+// bbNode is one branch-and-bound subproblem. Instead of cloning full bound
+// vectors, a node records the single bound its branch tightened; effective
+// bounds are materialized by walking the parent chain root-to-leaf into
+// worker-local arrays (deeper deltas override shallower ones).
+//
+// seq is the node's position in the branch tree, independent of exploration
+// order: "" for the root, parent.seq+"0" for the down child, parent.seq+"1"
+// for the up child. The tree itself is a function of (model, options) only
+// — every node's LP relaxation and branching variable are deterministic —
+// so lexicographic order on seq ranks nodes identically in every schedule.
+// That rank breaks incumbent ties, which is what makes parallel solves
+// return the same answer as sequential ones.
 type bbNode struct {
-	lb, ub []float64
-	bound  float64
-	depth  int
+	parent    *bbNode
+	branchVar int
+	branchVal float64
+	branchUB  bool // the delta tightens the upper bound (down branch)
+	bound     float64
+	depth     int
+	seq       string
+}
+
+// bbNodePool recycles leaf nodes: a node popped as pruned, or expanded
+// without pushing children, is referenced by nobody (children hold the only
+// parent references) and goes back to the pool.
+var bbNodePool = sync.Pool{New: func() any { return new(bbNode) }}
+
+func newNode(parent *bbNode, branchVar int, branchVal float64, branchUB bool, bound float64, seq string) *bbNode {
+	n := bbNodePool.Get().(*bbNode)
+	*n = bbNode{
+		parent: parent, branchVar: branchVar, branchVal: branchVal, branchUB: branchUB,
+		bound: bound, depth: parent.depth + 1, seq: seq,
+	}
+	return n
+}
+
+func releaseNode(n *bbNode) {
+	*n = bbNode{} // drop the parent-chain and seq references for the GC
+	bbNodePool.Put(n)
 }
 
 type nodeQueue []*bbNode
@@ -73,7 +128,10 @@ func (q nodeQueue) Less(i, j int) bool {
 	if q[i].bound != q[j].bound {
 		return q[i].bound < q[j].bound
 	}
-	return q[i].depth > q[j].depth // deeper first among equal bounds
+	if q[i].depth != q[j].depth {
+		return q[i].depth > q[j].depth // deeper first among equal bounds
+	}
+	return q[i].seq < q[j].seq // schedule-independent total order
 }
 func (q *nodeQueue) Push(x any) { *q = append(*q, x.(*bbNode)) }
 func (q *nodeQueue) Pop() any {
@@ -126,9 +184,12 @@ func objIsIntegral(m *Model) bool {
 	return true
 }
 
+// branchAndBound runs the (possibly parallel) best-first search: it builds
+// the shared read-only problem description plus the mutex-guarded search
+// state, seeds the frontier with the root, and lets Workers workers drain
+// it. Workers == 1 runs the same worker loop inline.
 func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 	nv := m.NumVars()
-	integral := objIsIntegral(m)
 
 	rootLB := make([]float64, nv)
 	rootUB := make([]float64, nv)
@@ -146,17 +207,7 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 		}
 	}
 
-	res := &MILPResult{Status: StatusInfeasible}
-	incumbent := math.Inf(1)
-	var incumbentX []float64
-
-	strengthen := func(b float64) float64 {
-		if integral {
-			return math.Ceil(b - 1e-6)
-		}
-		return b
-	}
-
+	integral := objIsIntegral(m)
 	// A known-feasible objective value lets us discard subtrees that can only
 	// contain solutions of value >= cutoff+1; subtrees that may still hold a
 	// solution of value <= cutoff survive, keeping the search exact.
@@ -164,107 +215,52 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 	if opt.CutoffObjective != nil && integral {
 		cutoff = *opt.CutoffObjective + 1
 	}
-	pruned := func(b float64) bool {
-		sb := strengthen(b)
-		return sb >= incumbent-1e-9 || sb >= cutoff-1e-9
-	}
 
-	queue := &nodeQueue{{lb: rootLB, ub: rootUB, bound: math.Inf(-1)}}
-	heap.Init(queue)
-
-	for queue.Len() > 0 {
-		if opt.Cancel != nil {
-			if err := opt.Cancel(); err != nil {
-				return nil, err
-			}
-		}
-		if res.Nodes >= opt.MaxNodes {
-			res.Status = StatusIterLimit
-			break
-		}
-		node := heap.Pop(queue).(*bbNode)
-		if pruned(node.bound) {
-			continue // pruned by a bound discovered after the node was queued
-		}
-		res.Nodes++
-		lp, err := solveLPWithBounds(m, opt.Simplex, node.lb, node.ub)
-		if err != nil {
-			return nil, err
-		}
-		res.Iterations += lp.Iterations
-		switch lp.Status {
-		case StatusInfeasible:
-			continue
-		case StatusUnbounded:
-			if node.depth == 0 && math.IsInf(incumbent, 1) {
-				// The relaxation is unbounded at the root: report it.
-				return &MILPResult{Status: StatusUnbounded, Nodes: res.Nodes, Iterations: res.Iterations}, nil
-			}
-			continue
-		case StatusIterLimit:
-			res.Status = StatusIterLimit
-			continue
-		}
-		if pruned(lp.Objective) {
-			continue
-		}
-		frac := mostFractional(m, lp.X, opt.IntTol)
-		if frac < 0 {
-			// Integral within tolerance. Guard against the big-M pathology:
-			// an indicator variable can sit at |y|/M below the tolerance,
-			// making the rounded point infeasible. Accept the incumbent only
-			// when its rounding verifies; otherwise branch on the largest
-			// sub-tolerance deviation (an exact split: its floor and ceil
-			// differ, so both children genuinely restrict the variable).
-			cand := roundIntegers(m, lp.X, opt.IntTol)
-			if CheckFeasible(m, cand, opt.IntTol*10) == nil {
-				if lp.Objective < incumbent-1e-9 {
-					incumbent = lp.Objective
-					incumbentX = cand
-				}
-				continue
-			}
-			frac = mostFractional(m, lp.X, 1e-15)
-			if frac < 0 {
-				// Exactly integral yet rounding-infeasible cannot happen;
-				// treat defensively as a numerical dead end.
-				continue
-			}
-		}
-		if !opt.DisableRounding && math.IsInf(incumbent, 1) && node.depth == 0 {
-			if obj, x, ok := roundingHeuristic(m, opt, lp.X, node.lb, node.ub); ok && obj < incumbent-1e-9 {
-				incumbent = obj
-				incumbentX = x
-			}
-		}
-		// Branch on the fractional variable.
-		xv := lp.X[frac]
-		down := &bbNode{lb: node.lb, ub: cloneWith(node.ub, frac, math.Floor(xv)), bound: lp.Objective, depth: node.depth + 1}
-		up := &bbNode{lb: cloneWith(node.lb, frac, math.Ceil(xv)), ub: node.ub, bound: lp.Objective, depth: node.depth + 1}
-		if down.ub[frac] >= down.lb[frac]-1e-12 {
-			heap.Push(queue, down)
-		}
-		if up.lb[frac] <= up.ub[frac]+1e-12 {
-			heap.Push(queue, up)
-		}
+	p := &bbProblem{
+		m:        m,
+		cs:       buildCSR(m),
+		opt:      opt,
+		integral: integral,
+		cutoff:   cutoff,
+		rootLB:   rootLB,
+		rootUB:   rootUB,
 	}
+	sh := newBBShared(&bbNode{bound: math.Inf(-1)})
 
-	if incumbentX != nil {
-		if res.Status != StatusIterLimit {
-			res.Status = StatusOptimal
+	if nw := opt.workerCount(); nw <= 1 {
+		p.runWorker(sh)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.runWorker(sh)
+			}()
 		}
-		res.Objective = incumbent
-		res.X = incumbentX
+		wg.Wait()
 	}
-	return res, nil
+	return sh.result()
 }
 
-// cloneWith copies bounds and sets index i to v.
-func cloneWith(b []float64, i int, v float64) []float64 {
-	c := make([]float64, len(b))
-	copy(c, b)
-	c[i] = v
-	return c
+// candidateObjective is the objective value committed for a feasible
+// integral candidate. With a provably integral objective it is recomputed
+// exactly from the candidate point and rounded to the nearest integer,
+// which makes it schedule-independent: every worker that reaches an optimal
+// candidate commits the identical float, so incumbent ties are exact and
+// the deterministic sequence tie-break decides. Otherwise the LP objective
+// is used as before.
+func candidateObjective(m *Model, x []float64, lpObj float64, integral bool) float64 {
+	if !integral {
+		return lpObj
+	}
+	z := 0.0
+	for j, c := range m.obj {
+		if c != 0 {
+			z += c * x[j]
+		}
+	}
+	return math.Round(z)
 }
 
 // mostFractional returns the integer variable whose LP value is farthest
@@ -283,18 +279,24 @@ func mostFractional(m *Model, x []float64, tol float64) int {
 	return best
 }
 
-// roundIntegers snaps near-integral integer variables exactly.
-func roundIntegers(m *Model, x []float64, tol float64) []float64 {
-	out := make([]float64, len(x))
-	copy(out, x)
-	for j := range out {
+// roundIntegersInto snaps near-integral integer variables exactly, writing
+// the result into dst (len(dst) == len(x)) without allocating.
+func roundIntegersInto(dst []float64, m *Model, x []float64, tol float64) {
+	copy(dst, x)
+	for j := range dst {
 		if m.vtype[j] != Continuous {
-			r := math.Round(out[j])
-			if math.Abs(out[j]-r) <= tol*10 {
-				out[j] = r
+			r := math.Round(dst[j])
+			if math.Abs(dst[j]-r) <= tol*10 {
+				dst[j] = r
 			}
 		}
 	}
+}
+
+// roundIntegers snaps near-integral integer variables exactly.
+func roundIntegers(m *Model, x []float64, tol float64) []float64 {
+	out := make([]float64, len(x))
+	roundIntegersInto(out, m, x, tol)
 	return out
 }
 

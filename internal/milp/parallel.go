@@ -1,0 +1,441 @@
+// Parallel branch and bound.
+//
+// The search is split into an immutable problem description (bbProblem) and
+// one mutex-guarded shared state (bbShared). Workers loop: pop the best
+// frontier node, solve its LP relaxation on a worker-local reusable simplex
+// state, then publish everything the node produced — children, an accepted
+// or heuristic candidate, a limit flag — under a single lock acquisition.
+//
+// Exactness under parallelism is free: a stale incumbent only under-prunes,
+// so no optimal subtree is ever discarded. Determinism needs one more idea.
+// The branch TREE is schedule-independent (each node's LP relaxation and
+// branching variable depend only on the node's bounds), so every node has a
+// fixed sequence rank (bbNode.seq); what varies between schedules is which
+// tree nodes get visited before pruning kicks in. The incumbent rule makes
+// the outcome independent of that order:
+//
+//   - a candidate replaces the incumbent if its objective is strictly
+//     better; on ties, LP-verified ("accepted") candidates beat rounding-
+//     heuristic ones, and among equals the smaller seq wins;
+//   - a node is pruned when its strengthened bound is strictly worse than
+//     the incumbent; a TIED node is pruned only against an accepted
+//     incumbent with smaller seq, never against a heuristic one.
+//
+// Let W be the accepted candidate with the minimum (objective, seq) over
+// the whole tree. No ancestor a of W is ever pruned: a's strengthened bound
+// is at most W's objective (its subtree contains W, and with an integral
+// objective the strengthening stays below the attainable optimum), so a
+// could only be tie-pruned by an accepted incumbent with seq smaller than
+// a.seq <= W.seq — but then that incumbent, not W, would be the minimum.
+// Hence W is always discovered and, being the minimum of the replacement
+// order, always wins: every completed solve returns W regardless of worker
+// count or scheduling. (Searches cut short by MaxNodes or an LP iteration
+// limit report StatusIterLimit and stay schedule-dependent; with an exactly
+// non-integral objective two distinct optima within the LP tolerance can
+// likewise tie unreproducibly — DART's cardinality objectives are integral,
+// so the repair path always gets the deterministic case.)
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+)
+
+// bbProblem is the read-only half of a branch-and-bound search, shared by
+// all workers without locking: the model, its CSR constraint matrix, the
+// resolved options, and the root bounds.
+type bbProblem struct {
+	m        *Model
+	cs       *csrMatrix
+	opt      MILPOptions
+	integral bool
+	cutoff   float64
+	rootLB   []float64
+	rootUB   []float64
+}
+
+// strengthen rounds a subtree's LP bound up to the next attainable
+// objective value when the objective is provably integral.
+func (p *bbProblem) strengthen(b float64) float64 {
+	if p.integral {
+		return math.Ceil(b - 1e-6)
+	}
+	return b
+}
+
+// bbIncumbent is the best feasible integral solution published so far.
+// accepted distinguishes LP-verified candidates from rounding-heuristic
+// ones; see the package comment for how the flag steers tie-breaking.
+type bbIncumbent struct {
+	ok       bool
+	accepted bool
+	obj      float64
+	seq      string
+	x        []float64
+}
+
+// bbShared is the mutable half of a search: the best-first frontier, the
+// published incumbent, work counters, and termination state. Workers block
+// on cond while the frontier is empty but siblings may still publish
+// children.
+type bbShared struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	frontier  nodeQueue
+	inc       bbIncumbent
+	nodes     int
+	iters     int
+	active    int  // workers currently expanding a node
+	stopped   bool // terminal: exhausted, node limit, cancelled, or failed
+	hitLimit  bool // MaxNodes exhausted or an LP hit its iteration limit
+	unbounded bool // root relaxation unbounded
+	err       error
+}
+
+func newBBShared(root *bbNode) *bbShared {
+	sh := &bbShared{frontier: nodeQueue{root}}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// bbWorker is one worker's private scratch: a reusable simplex state plus
+// the materialized-bound, solution, and candidate arrays. Everything is
+// allocated once per worker, so steady-state node expansion allocates
+// nothing beyond the two child nodes (pool-recycled) and their seq strings.
+type bbWorker struct {
+	s     *simplex
+	lb    []float64
+	ub    []float64
+	x     []float64 // LP solution of the current node
+	cand  []float64 // rounded-candidate scratch
+	chain []*bbNode // parent-chain scratch for materialize
+}
+
+// runWorker drains the shared frontier until the search stops. The loop
+// polls opt.Cancel once per dequeue (inside next), so cancellation is
+// honored at node granularity exactly like the sequential solver.
+func (p *bbProblem) runWorker(sh *bbShared) {
+	nv := p.m.NumVars()
+	w := &bbWorker{
+		s:    acquireSimplex(),
+		lb:   make([]float64, nv),
+		ub:   make([]float64, nv),
+		x:    make([]float64, nv),
+		cand: make([]float64, nv),
+	}
+	defer releaseSimplex(w.s)
+	first := true
+	for {
+		node, noInc := sh.next(p)
+		if node == nil {
+			return
+		}
+		// Try the rounding heuristic at the root and on this worker's first
+		// node while no incumbent exists: late-joining workers seed an early
+		// bound for their subtree instead of waiting for the root's.
+		tryHeur := !p.opt.DisableRounding && (node.depth == 0 || (first && noInc))
+		first = false
+		p.expand(sh, w, node, tryHeur)
+	}
+}
+
+// materialize reconstructs node's effective bounds into the worker arrays
+// by replaying branch deltas root-to-leaf (deeper deltas tighten shallower
+// ones).
+func (p *bbProblem) materialize(node *bbNode, w *bbWorker) {
+	copy(w.lb, p.rootLB)
+	copy(w.ub, p.rootUB)
+	w.chain = w.chain[:0]
+	for n := node; n.parent != nil; n = n.parent {
+		w.chain = append(w.chain, n)
+	}
+	for i := len(w.chain) - 1; i >= 0; i-- {
+		n := w.chain[i]
+		if n.branchUB {
+			w.ub[n.branchVar] = n.branchVal
+		} else {
+			w.lb[n.branchVar] = n.branchVal
+		}
+	}
+}
+
+// nodeOutcome is everything one node expansion wants to publish, applied
+// under a single lock acquisition in bbShared.complete.
+type nodeOutcome struct {
+	iters     int
+	node      *bbNode
+	down, up  *bbNode // children to enqueue (nil = none)
+	cand      bool    // accepted candidate present
+	candObj   float64
+	candX     []float64 // worker scratch; copied under the lock on acceptance
+	heur      bool      // heuristic candidate present
+	heurObj   float64
+	heurX     []float64 // heuristic-owned allocation; stored directly
+	iterLimit bool
+	unbounded bool
+	err       error
+}
+
+// expand solves one node's LP relaxation and publishes the outcome.
+func (p *bbProblem) expand(sh *bbShared, w *bbWorker, node *bbNode, tryHeur bool) {
+	p.materialize(node, w)
+	w.s.reset(p.m, p.cs, p.opt.Simplex, w.lb, w.ub)
+	st, err := w.s.run()
+	out := nodeOutcome{iters: w.s.iters, node: node, err: err}
+	if err != nil {
+		sh.complete(p, out)
+		return
+	}
+	switch st {
+	case StatusInfeasible:
+		sh.complete(p, out)
+		return
+	case StatusUnbounded:
+		// Unbounded below a bounded root cannot happen; at the root it
+		// decides the whole solve. Deeper nodes die defensively.
+		out.unbounded = node.depth == 0
+		sh.complete(p, out)
+		return
+	case StatusIterLimit:
+		out.iterLimit = true
+		sh.complete(p, out)
+		return
+	}
+	obj := w.s.objective()
+	w.s.fillSolution(w.x)
+
+	frac := mostFractional(p.m, w.x, p.opt.IntTol)
+	if frac < 0 {
+		// Integral within tolerance. Guard against the big-M pathology:
+		// an indicator variable can sit at |y|/M below the tolerance,
+		// making the rounded point infeasible. Commit the candidate only
+		// when its rounding verifies; otherwise branch on the largest
+		// sub-tolerance deviation (an exact split: its floor and ceil
+		// differ, so both children genuinely restrict the variable).
+		roundIntegersInto(w.cand, p.m, w.x, p.opt.IntTol)
+		if CheckFeasible(p.m, w.cand, p.opt.IntTol*10) == nil {
+			out.cand = true
+			out.candObj = candidateObjective(p.m, w.cand, obj, p.integral)
+			out.candX = w.cand
+			sh.complete(p, out)
+			return
+		}
+		frac = mostFractional(p.m, w.x, 1e-15)
+		if frac < 0 {
+			// Exactly integral yet rounding-infeasible cannot happen;
+			// treat defensively as a numerical dead end.
+			sh.complete(p, out)
+			return
+		}
+	}
+
+	if tryHeur {
+		if hobj, hx, ok := roundingHeuristic(p.m, p.opt, w.x, w.lb, w.ub); ok {
+			out.heur = true
+			out.heurObj = candidateObjective(p.m, hx, hobj, p.integral)
+			out.heurX = hx
+		}
+	}
+
+	// Branch on the fractional variable; a child whose tightened bound
+	// empties the variable's domain is dropped outright.
+	xv := w.x[frac]
+	if down := math.Floor(xv); down >= w.lb[frac]-1e-12 {
+		out.down = newNode(node, frac, down, true, obj, node.seq+"0")
+	}
+	if up := math.Ceil(xv); up <= w.ub[frac]+1e-12 {
+		out.up = newNode(node, frac, up, false, obj, node.seq+"1")
+	}
+	sh.complete(p, out)
+}
+
+// next blocks until a frontier node is available or the search is over. It
+// returns the popped node plus whether no incumbent existed at pop time
+// (the trigger for a worker's first-node heuristic attempt); a nil node
+// tells the worker to exit. Pops re-check pruning against the newest
+// incumbent, count the node, and mark the worker active so idle siblings
+// keep waiting for the children it may publish.
+func (sh *bbShared) next(p *bbProblem) (node *bbNode, noIncumbent bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		if sh.stopped {
+			return nil, false
+		}
+		if p.opt.Cancel != nil {
+			if err := p.opt.Cancel(); err != nil {
+				sh.err = err
+				sh.stopLocked()
+				return nil, false
+			}
+		}
+		if len(sh.frontier) > 0 {
+			if sh.nodes >= p.opt.MaxNodes {
+				sh.hitLimit = true
+				sh.stopLocked()
+				return nil, false
+			}
+			n := heap.Pop(&sh.frontier).(*bbNode)
+			if sh.prunedLocked(p, n.bound, n.seq) {
+				releaseNode(n) // pruned before expansion: nobody references it
+				continue
+			}
+			sh.nodes++
+			sh.active++
+			return n, !sh.inc.ok
+		}
+		if sh.active == 0 {
+			sh.stopLocked()
+			return nil, false
+		}
+		sh.cond.Wait()
+	}
+}
+
+// stopLocked marks the search terminal and wakes every waiting worker.
+func (sh *bbShared) stopLocked() {
+	sh.stopped = true
+	sh.cond.Broadcast()
+}
+
+// prunedLocked reports whether a subtree with LP bound b and sequence rank
+// seq can be discarded. Strictly worse strengthened bounds always prune
+// (against the incumbent and the warm-start cutoff). A TIED bound prunes
+// only against an accepted incumbent with a smaller rank: pruning a tied
+// node with a smaller rank could hide the deterministic winner, and
+// heuristic incumbents never tie-prune because the accepted solution they
+// would suppress is exactly the one the tie rule must find. A stale (not
+// yet published) incumbent only under-prunes: cost, never exactness.
+func (sh *bbShared) prunedLocked(p *bbProblem, b float64, seq string) bool {
+	sb := p.strengthen(b)
+	if sb >= p.cutoff-1e-9 {
+		return true
+	}
+	if !sh.inc.ok {
+		return false
+	}
+	if sb > sh.inc.obj+1e-9 {
+		return true
+	}
+	if sb < sh.inc.obj-1e-9 {
+		return false
+	}
+	return sh.inc.accepted && seq > sh.inc.seq
+}
+
+// betterLocked reports whether a candidate (obj, accepted, seq) replaces
+// the current incumbent: strictly better objective wins; on ties an
+// accepted candidate beats a heuristic one, and among equals the smaller
+// sequence rank wins. The rule is a total order, so the final incumbent is
+// the minimum over every candidate ever published — independent of
+// publication order, hence of the worker schedule.
+func (sh *bbShared) betterLocked(obj float64, accepted bool, seq string) bool {
+	if !sh.inc.ok {
+		return true
+	}
+	if obj < sh.inc.obj-1e-9 {
+		return true
+	}
+	if obj > sh.inc.obj+1e-9 {
+		return false
+	}
+	if accepted != sh.inc.accepted {
+		return accepted
+	}
+	return seq < sh.inc.seq
+}
+
+// complete publishes one expanded node's outcome: accumulate counters,
+// offer candidates to the incumbent, enqueue surviving children, recycle
+// dead nodes, and update termination state — one lock acquisition per node.
+func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.iters += out.iters
+	sh.active--
+	defer sh.cond.Broadcast()
+
+	if out.err != nil {
+		if sh.err == nil {
+			sh.err = out.err
+		}
+		sh.stopped = true
+		return
+	}
+	if out.unbounded && !sh.inc.ok {
+		sh.unbounded = true
+		sh.stopped = true
+		return
+	}
+	if out.iterLimit {
+		sh.hitLimit = true
+	}
+	if out.cand && sh.betterLocked(out.candObj, true, out.node.seq) {
+		// Copy out of the worker's scratch; reuse the previous incumbent's
+		// array when one exists.
+		sh.inc = bbIncumbent{
+			ok: true, accepted: true, obj: out.candObj, seq: out.node.seq,
+			x: append(sh.inc.x[:0], out.candX...),
+		}
+	}
+	if out.heur && sh.betterLocked(out.heurObj, false, out.node.seq) {
+		sh.inc = bbIncumbent{ok: true, accepted: false, obj: out.heurObj, seq: out.node.seq, x: out.heurX}
+	}
+	childKept := false
+	for _, child := range [2]*bbNode{out.down, out.up} {
+		if child == nil {
+			continue
+		}
+		// Pruning here is an optimization only (pops re-check): pruning is
+		// monotone in the incumbent order, so a child pruned now would also
+		// be pruned at pop time.
+		if sh.prunedLocked(p, child.bound, child.seq) {
+			releaseNode(child)
+			continue
+		}
+		heap.Push(&sh.frontier, child)
+		childKept = true
+	}
+	if !childKept && out.down == nil && out.up == nil {
+		// A true leaf: no surviving child ever held a parent reference, so
+		// the node can be pooled. (When children were created but pruned at
+		// push, they are already released; the node itself is still safe to
+		// recycle only if none of them was pushed — covered by childKept —
+		// but a released child has dropped its parent pointer, so recycling
+		// is safe in that case too.)
+		releaseNode(out.node)
+	} else if !childKept {
+		releaseNode(out.node)
+	}
+	if sh.active == 0 && len(sh.frontier) == 0 {
+		sh.stopped = true
+	}
+}
+
+// result assembles the MILPResult after every worker has exited, matching
+// the sequential solver's status semantics exactly.
+func (sh *bbShared) result() (*MILPResult, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.err != nil {
+		return nil, sh.err
+	}
+	res := &MILPResult{Nodes: sh.nodes, Iterations: sh.iters}
+	if sh.unbounded {
+		res.Status = StatusUnbounded
+		return res, nil
+	}
+	res.Status = StatusInfeasible
+	if sh.hitLimit {
+		res.Status = StatusIterLimit
+	}
+	if sh.inc.ok {
+		if !sh.hitLimit {
+			res.Status = StatusOptimal
+		}
+		res.Objective = sh.inc.obj
+		res.X = append([]float64(nil), sh.inc.x...)
+	}
+	return res, nil
+}

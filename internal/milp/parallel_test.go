@@ -1,0 +1,221 @@
+package milp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// randomIntegerModel builds a reproducible random integer program with
+// integral objective coefficients (the deterministic-parallelism case).
+func randomIntegerModel(src int64) *Model {
+	r := rand.New(rand.NewSource(src))
+	m := NewModel()
+	nv := 3 + r.Intn(4)
+	for j := 0; j < nv; j++ {
+		m.AddVar("x", 0, float64(1+r.Intn(4)), Integer, float64(r.Intn(13)-6))
+	}
+	nc := 2 + r.Intn(3)
+	for i := 0; i < nc; i++ {
+		terms := make([]Term, nv)
+		for j := 0; j < nv; j++ {
+			terms[j] = Term{Var(j), float64(r.Intn(9) - 4)}
+		}
+		rel := []Rel{LE, GE, EQ}[r.Intn(3)]
+		m.MustAddConstraint("c", terms, rel, float64(r.Intn(19)-6))
+	}
+	return m
+}
+
+func sameResult(t *testing.T, label string, a, b *MILPResult) {
+	t.Helper()
+	if a.Status != b.Status {
+		t.Errorf("%s: status %v vs %v", label, a.Status, b.Status)
+		return
+	}
+	if a.Status != StatusOptimal {
+		return
+	}
+	//dartvet:allow floatcmp -- the determinism guarantee is bit-identical objectives, so the test compares exactly
+	if a.Objective != b.Objective {
+		t.Errorf("%s: objective %v vs %v", label, a.Objective, b.Objective)
+	}
+	if len(a.X) != len(b.X) {
+		t.Fatalf("%s: len(X) %d vs %d", label, len(a.X), len(b.X))
+	}
+	for j := range a.X {
+		//dartvet:allow floatcmp -- the determinism guarantee is bit-identical solutions, so the test compares exactly
+		if a.X[j] != b.X[j] {
+			t.Errorf("%s: X[%d] = %v vs %v", label, j, a.X[j], b.X[j])
+		}
+	}
+}
+
+// TestParallelMatchesSequentialRandom is the kernel-level differential test:
+// on random integer programs with integral objectives, a 4-worker solve must
+// return bit-identical status/objective/X to the sequential solve.
+func TestParallelMatchesSequentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 60; trial++ {
+		src := rng.Int63()
+		seqRes, err := Solve(randomIntegerModel(src), MILPOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d seq: %v", trial, err)
+		}
+		parRes, err := Solve(randomIntegerModel(src), MILPOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("trial %d par: %v", trial, err)
+		}
+		sameResult(t, "trial", seqRes, parRes)
+	}
+}
+
+// TestParallelRepeatedStable re-runs the same parallel solve many times:
+// every run must commit the identical incumbent despite different worker
+// interleavings.
+func TestParallelRepeatedStable(t *testing.T) {
+	build := func() *Model { return randomIntegerModel(991) }
+	first, err := Solve(build(), MILPOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		again, err := Solve(build(), MILPOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "rerun", first, again)
+	}
+}
+
+// TestParallelCutoffAgreement checks that the warm-start cutoff composes
+// with parallel search: feeding the sequential optimum back as the cutoff
+// of a 4-worker solve reproduces the same solution.
+func TestParallelCutoffAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		src := rng.Int63()
+		cold, err := Solve(randomIntegerModel(src), MILPOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if cold.Status != StatusOptimal {
+			continue
+		}
+		cutoff := cold.Objective
+		warm, err := Solve(randomIntegerModel(src), MILPOptions{Workers: 4, CutoffObjective: &cutoff})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sameResult(t, "cutoff", cold, warm)
+	}
+}
+
+// TestParallelCancel: cancellation raised mid-search with concurrent workers
+// stops the solve and surfaces the error. The hook must be goroutine-safe,
+// hence the atomic counter.
+func TestParallelCancel(t *testing.T) {
+	sentinel := errors.New("stop now")
+	var calls atomic.Int64
+	_, err := Solve(cancelModel(t), MILPOptions{Workers: 4, Cancel: func() error {
+		if calls.Add(1) > 2 {
+			return sentinel
+		}
+		return nil
+	}})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel after %d polls", err, calls.Load())
+	}
+}
+
+// TestParallelUnboundedAndInfeasible: non-optimal statuses survive the
+// parallel path unchanged.
+func TestParallelUnboundedAndInfeasible(t *testing.T) {
+	unb := NewModel()
+	x := unb.AddVar("x", 0, math.Inf(1), Integer, -1)
+	y := unb.AddVar("y", 0, 1, Binary, 0)
+	unb.MustAddConstraint("c", []Term{{x, -1}, {y, 1}}, LE, 0)
+	res, err := Solve(unb, MILPOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusUnbounded {
+		t.Errorf("unbounded model: status %v", res.Status)
+	}
+
+	inf := NewModel()
+	a := inf.AddVar("a", 0, 1, Binary, 1)
+	b := inf.AddVar("b", 0, 1, Binary, 1)
+	inf.MustAddConstraint("c", []Term{{a, 1}, {b, 1}}, GE, 3)
+	res, err = Solve(inf, MILPOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Errorf("infeasible model: status %v", res.Status)
+	}
+}
+
+// TestNodeSolveAllocs is the allocation regression test for the reusable
+// kernel: once a worker's simplex state has warmed up, a steady-state node
+// solve (reset + run + read the solution) performs zero heap allocations.
+func TestNodeSolveAllocs(t *testing.T) {
+	m := randomIntegerModel(2024)
+	cs := buildCSR(m)
+	s := new(simplex)
+	x := make([]float64, m.NumVars())
+	solveOnce := func() {
+		s.reset(m, cs, SimplexOptions{}, nil, nil)
+		if st, err := s.run(); err == nil && st == StatusOptimal {
+			s.fillSolution(x)
+		}
+	}
+	solveOnce() // warm up the backing arrays
+	if allocs := testing.AllocsPerRun(200, solveOnce); allocs > 0 {
+		t.Errorf("steady-state node solve allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkNodeSolve measures a steady-state node relaxation on the
+// reusable kernel (the inner loop of branch and bound).
+func BenchmarkNodeSolve(b *testing.B) {
+	m := randomIntegerModel(2024)
+	cs := buildCSR(m)
+	s := new(simplex)
+	x := make([]float64, m.NumVars())
+	s.reset(m, cs, SimplexOptions{}, nil, nil)
+	if _, err := s.run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.reset(m, cs, SimplexOptions{}, nil, nil)
+		if _, err := s.run(); err != nil {
+			b.Fatal(err)
+		}
+		s.fillSolution(x)
+	}
+}
+
+// BenchmarkParallelSolve solves a batch of independent integer programs at
+// different worker counts. On multi-core hardware Workers=4 should finish
+// the batch at least 2x faster than Workers=1; on a single-core machine the
+// counts coincide, but the benchmark still pins the parallel path's
+// overhead.
+func BenchmarkParallelSolve(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "seq", 4: "par4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(randomIntegerModel(7331), MILPOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		})
+	}
+}

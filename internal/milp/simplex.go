@@ -87,13 +87,19 @@ const (
 // simplex is the working state of a bounded-variable primal simplex solve.
 // Columns 0..nv-1 are the model's structural variables; columns nv..nv+m-1
 // are row slacks (a·x + s = b, with slack bounds encoding the relation).
+//
+// The state is reusable: reset re-initializes it for a model/bounds pair
+// from a prebuilt CSR matrix without allocating once the backing arrays
+// have grown to size, which is what makes steady-state branch-and-bound
+// node solves allocation-free. Instances are recycled via simplexPool.
 type simplex struct {
 	opt SimplexOptions
 
 	m, n int // rows, total columns (structural + slacks)
 	nv   int // structural columns
 
-	tab   [][]float64 // m x n dense tableau, equals B^{-1} * A_full
+	buf   []float64   // flat m*n backing array of the tableau
+	tab   [][]float64 // m x n dense tableau rows into buf, equals B^{-1} * A_full
 	rhs   []float64   // B^{-1} b (unadjusted for nonbasic bound values)
 	lb    []float64   // per-column lower bounds (incl. slacks)
 	ub    []float64   // per-column upper bounds
@@ -103,34 +109,41 @@ type simplex struct {
 	stat  []colStatus
 	xB    []float64 // current values of basic variables per row
 	d     []float64 // reduced costs (valid during phase 2)
+	g     []float64 // phase-1 infeasibility gradient scratch
 
 	iters int
 	bland bool // anti-cycling rule active
 	degen int  // consecutive degenerate pivots
 }
 
-// newSimplex builds the working state for model mdl, with bounds optionally
-// overridden (overrideLB/overrideUB may be nil to use the model's own).
-func newSimplex(mdl *Model, opt SimplexOptions, overrideLB, overrideUB []float64) *simplex {
-	m := mdl.NumConstraints()
-	nv := mdl.NumVars()
+// reset re-initializes the working state for model mdl with the prebuilt
+// CSR form cs, with bounds optionally overridden (overrideLB/overrideUB may
+// be nil to use the model's own). Backing arrays are reused when large
+// enough, so repeated resets against same-shaped models allocate nothing.
+func (s *simplex) reset(mdl *Model, cs *csrMatrix, opt SimplexOptions, overrideLB, overrideUB []float64) {
+	m := cs.m
+	nv := cs.nv
 	n := nv + m
-	s := &simplex{
-		opt:   opt.withDefaults(m, n),
-		m:     m,
-		n:     n,
-		nv:    nv,
-		tab:   make([][]float64, m),
-		rhs:   make([]float64, m),
-		lb:    make([]float64, n),
-		ub:    make([]float64, n),
-		obj:   make([]float64, n),
-		basis: make([]int, m),
-		inRow: make([]int, n),
-		stat:  make([]colStatus, n),
-		xB:    make([]float64, m),
-		d:     make([]float64, n),
+	s.opt = opt.withDefaults(m, n)
+	s.m, s.n, s.nv = m, n, nv
+	s.iters, s.degen, s.bland = 0, 0, false
+
+	s.buf = growF(s.buf, m*n)
+	for i := range s.buf {
+		s.buf[i] = 0
 	}
+	s.tab = growRows(s.tab, m)
+	s.rhs = growF(s.rhs, m)
+	s.lb = growF(s.lb, n)
+	s.ub = growF(s.ub, n)
+	s.obj = growF(s.obj, n)
+	s.basis = growI(s.basis, m)
+	s.inRow = growI(s.inRow, n)
+	s.stat = growS(s.stat, n)
+	s.xB = growF(s.xB, m)
+	s.d = growF(s.d, n)
+	s.g = growF(s.g, n)
+
 	for j := 0; j < nv; j++ {
 		if overrideLB != nil {
 			s.lb[j] = overrideLB[j]
@@ -145,35 +158,21 @@ func newSimplex(mdl *Model, opt SimplexOptions, overrideLB, overrideUB []float64
 		s.obj[j] = mdl.obj[j]
 		s.inRow[j] = -1
 	}
-	for i, row := range mdl.rows {
-		t := make([]float64, n)
-		for _, term := range row.Terms {
-			t[term.Var] += term.Coeff
-		}
-		// Row equilibration: divide each row by its largest coefficient
-		// magnitude. Without it, big-M indicator rows (coefficients spanning
-		// 1 to 1e7+) overwhelm the solver's absolute tolerances and produce
-		// false optima or false infeasibility. Scaling a row is an exact
-		// reformulation, so solutions are unaffected.
-		scale := 0.0
-		for _, v := range t {
-			if av := math.Abs(v); av > scale {
-				scale = av
-			}
-		}
-		rhs := row.RHS
-		if scale > 0 {
-			inv := 1 / scale
-			for j := range t {
-				t[j] *= inv
-			}
-			rhs *= inv
+	// Scatter the equilibrated CSR rows into the dense tableau. The CSR
+	// build already applied row equilibration (divide each row by its
+	// largest coefficient magnitude), which big-M indicator rows need to
+	// stay inside the solver's absolute tolerances.
+	for i := 0; i < m; i++ {
+		t := s.buf[i*n : (i+1)*n]
+		s.tab[i] = t
+		for k := cs.rowStart[i]; k < cs.rowStart[i+1]; k++ {
+			t[cs.cols[k]] = cs.vals[k]
 		}
 		sc := nv + i // slack column
 		t[sc] = 1
-		s.tab[i] = t
-		s.rhs[i] = rhs
-		switch row.Rel {
+		s.rhs[i] = cs.rhs[i]
+		s.obj[sc] = 0
+		switch cs.rel[i] {
 		case LE:
 			s.lb[sc], s.ub[sc] = 0, math.Inf(1)
 		case GE:
@@ -208,17 +207,18 @@ func newSimplex(mdl *Model, opt SimplexOptions, overrideLB, overrideUB []float64
 		s.inRow[sc] = i
 		s.stat[sc] = csBasic
 	}
-	// xB[i] = rhs_i - sum over nonbasic structural columns of coeff*value.
+	// xB[i] = rhs_i - sum over nonbasic structural columns of coeff*value,
+	// accumulated over the row's nonzeros only (zero coefficients contribute
+	// nothing, so skipping them is exact).
 	for i := 0; i < m; i++ {
 		v := s.rhs[i]
-		for j := 0; j < nv; j++ {
-			if x := s.nbValue(j); x != 0 {
-				v -= s.tab[i][j] * x
+		for k := cs.rowStart[i]; k < cs.rowStart[i+1]; k++ {
+			if x := s.nbValue(cs.cols[k]); x != 0 {
+				v -= cs.vals[k] * x
 			}
 		}
 		s.xB[i] = v
 	}
-	return s
 }
 
 // nbValue returns the resting value of a nonbasic column.
@@ -278,8 +278,10 @@ func (s *simplex) phase1Costs(g []float64) (anyInfeasible bool) {
 		anyInfeasible = true
 		row := s.tab[i]
 		for j := 0; j < s.n; j++ {
-			if s.stat[j] != csBasic {
-				g[j] += w * row[j]
+			// Skipping zero tableau entries is exact and, on the sparse
+			// ground systems this solver sees, skips most of the row.
+			if v := row[j]; v != 0 && s.stat[j] != csBasic {
+				g[j] += w * v
 			}
 		}
 	}
@@ -296,7 +298,9 @@ func (s *simplex) computeReducedCosts() {
 		}
 		row := s.tab[i]
 		for j := 0; j < s.n; j++ {
-			s.d[j] -= cb * row[j]
+			if v := row[j]; v != 0 {
+				s.d[j] -= cb * v
+			}
 		}
 	}
 	for i := 0; i < s.m; i++ {
@@ -479,7 +483,9 @@ func (s *simplex) step(enter int, dir float64, r ratioResult, updateD bool) {
 	trow := s.tab[row]
 	inv := 1 / piv
 	for j := 0; j < s.n; j++ {
-		trow[j] *= inv
+		if trow[j] != 0 {
+			trow[j] *= inv
+		}
 	}
 	trow[enter] = 1 // exact
 	s.rhs[row] *= inv
@@ -492,8 +498,12 @@ func (s *simplex) step(enter int, dir float64, r ratioResult, updateD bool) {
 			continue
 		}
 		ti := s.tab[i]
+		// The pivot row stays sparse until fill-in accumulates; skipping
+		// its zeros is exact and dominates the elimination cost.
 		for j := 0; j < s.n; j++ {
-			ti[j] -= f * trow[j]
+			if v := trow[j]; v != 0 {
+				ti[j] -= f * v
+			}
 		}
 		ti[enter] = 0 // exact
 		s.rhs[i] -= f * s.rhs[row]
@@ -502,7 +512,9 @@ func (s *simplex) step(enter int, dir float64, r ratioResult, updateD bool) {
 		f := s.d[enter]
 		if f != 0 {
 			for j := 0; j < s.n; j++ {
-				s.d[j] -= f * trow[j]
+				if v := trow[j]; v != 0 {
+					s.d[j] -= f * v
+				}
 			}
 		}
 		s.d[enter] = 0
@@ -526,7 +538,7 @@ func (s *simplex) step(enter int, dir float64, r ratioResult, updateD bool) {
 // phase1 restores primal feasibility of the basis. It returns false if the
 // LP is infeasible, and an error on iteration exhaustion.
 func (s *simplex) phase1() (feasible bool, err error) {
-	g := make([]float64, s.n)
+	g := s.g
 	//dartvet:allow ctxloop -- bounded by the opt.MaxIters check on entry; milp.Solve polls Cancel between LP solves
 	for {
 		if s.iters >= s.opt.MaxIters {
@@ -593,28 +605,41 @@ func (s *simplex) objective() float64 {
 // solution extracts structural variable values.
 func (s *simplex) solution() []float64 {
 	x := make([]float64, s.nv)
-	for j := 0; j < s.nv; j++ {
-		x[j] = s.value(j)
-	}
+	s.fillSolution(x)
 	return x
 }
 
-// solveLP runs both phases and packages the result.
-func (s *simplex) solveLP() (*LPResult, error) {
+// fillSolution writes the structural variable values into dst (len >= nv)
+// without allocating.
+func (s *simplex) fillSolution(dst []float64) {
+	for j := 0; j < s.nv; j++ {
+		dst[j] = s.value(j)
+	}
+}
+
+// run executes both phases, leaving the optimum in the working state. It
+// allocates nothing; branch-and-bound workers read the objective and
+// solution straight out of the state.
+func (s *simplex) run() (Status, error) {
 	// Trivial infeasibility: reversed bounds after overrides.
 	for j := 0; j < s.n; j++ {
 		if s.lb[j] > s.ub[j]+s.opt.FeasTol {
-			return &LPResult{Status: StatusInfeasible, Iterations: s.iters}, nil
+			return StatusInfeasible, nil
 		}
 	}
 	feasible, err := s.phase1()
 	if err != nil {
-		return nil, err
+		return StatusInfeasible, err
 	}
 	if !feasible {
-		return &LPResult{Status: StatusInfeasible, Iterations: s.iters}, nil
+		return StatusInfeasible, nil
 	}
-	st, err := s.phase2()
+	return s.phase2()
+}
+
+// solveLP runs both phases and packages the result.
+func (s *simplex) solveLP() (*LPResult, error) {
+	st, err := s.run()
 	if err != nil {
 		return nil, err
 	}
@@ -632,11 +657,18 @@ func SolveLP(m *Model, opt SimplexOptions) (*LPResult, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return newSimplex(m, opt, nil, nil).solveLP()
+	s := acquireSimplex()
+	defer releaseSimplex(s)
+	s.reset(m, buildCSR(m), opt, nil, nil)
+	return s.solveLP()
 }
 
 // solveLPWithBounds solves the relaxation with per-variable bound overrides
-// (used by branch and bound).
+// (used by the branch-and-bound rounding heuristic and one-shot callers; the
+// node loop keeps a worker-local state and calls reset/run directly).
 func solveLPWithBounds(m *Model, opt SimplexOptions, lb, ub []float64) (*LPResult, error) {
-	return newSimplex(m, opt, lb, ub).solveLP()
+	s := acquireSimplex()
+	defer releaseSimplex(s)
+	s.reset(m, buildCSR(m), opt, lb, ub)
+	return s.solveLP()
 }

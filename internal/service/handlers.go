@@ -70,7 +70,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if _, err := resolveSolver(spec.Solver); err != nil {
+	if _, err := resolveSolver(spec.Solver, spec.SolverWorkers); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -75,6 +75,8 @@ type Metrics struct {
 	resolveSeconds *histogram
 	compSolved     uint64
 	compReused     uint64
+	bbNodes        uint64
+	bbWorkers      int
 	specRejections uint64
 	cacheHits      uint64
 	cacheMisses    uint64
@@ -131,6 +133,16 @@ func (m *Metrics) Components(solved, reused int) {
 	}
 }
 
+// BBNodes counts branch-and-bound nodes explored by one finished pipeline
+// run.
+func (m *Metrics) BBNodes(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > 0 {
+		m.bbNodes += uint64(n)
+	}
+}
+
 // CacheHit counts one job served from the result cache.
 func (m *Metrics) CacheHit() {
 	m.mu.Lock()
@@ -183,13 +195,15 @@ func (m *Metrics) Retry() {
 	m.retries++
 }
 
-// Bind attaches the live gauges (queue depth, worker count) the registry
-// samples at exposition time.
-func (m *Metrics) Bind(queueDepth func() int, workers int) {
+// Bind attaches the live gauges (queue depth, job worker count, and the
+// per-job branch-and-bound worker budget) the registry samples at
+// exposition time.
+func (m *Metrics) Bind(queueDepth func() int, workers, bbWorkers int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.queueDepth = queueDepth
 	m.workerCount = workers
+	m.bbWorkers = bbWorkers
 }
 
 // Snapshot returns the submitted and per-terminal-state finished counters;
@@ -247,6 +261,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE dartd_components_reused_total counter")
 	fmt.Fprintf(w, "dartd_components_reused_total %d\n", m.compReused)
 
+	fmt.Fprintln(w, "# HELP dart_bb_nodes_total Branch-and-bound nodes explored by the repair solver.")
+	fmt.Fprintln(w, "# TYPE dart_bb_nodes_total counter")
+	fmt.Fprintf(w, "dart_bb_nodes_total %d\n", m.bbNodes)
+
 	fmt.Fprintln(w, "# HELP dartd_result_cache_hits_total Jobs served from the result cache.")
 	fmt.Fprintln(w, "# TYPE dartd_result_cache_hits_total counter")
 	fmt.Fprintf(w, "dartd_result_cache_hits_total %d\n", m.cacheHits)
@@ -264,6 +282,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintln(w, "# HELP dartd_workers Configured worker count.")
 		fmt.Fprintln(w, "# TYPE dartd_workers gauge")
 		fmt.Fprintf(w, "dartd_workers %d\n", m.workerCount)
+	}
+	if m.bbWorkers > 0 {
+		fmt.Fprintln(w, "# HELP dart_bb_workers Branch-and-bound worker budget per job.")
+		fmt.Fprintln(w, "# TYPE dart_bb_workers gauge")
+		fmt.Fprintf(w, "dart_bb_workers %d\n", m.bbWorkers)
 	}
 
 	fmt.Fprintln(w, "# HELP dartd_stage_seconds Pipeline stage latency, by stage.")

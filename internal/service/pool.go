@@ -212,12 +212,14 @@ func ResolveMetadata(spec JobSpec) (*metadata.Metadata, error) {
 }
 
 // resolveSolver maps a spec's solver name to an implementation.
-func resolveSolver(name string) (core.Solver, error) {
+// solverWorkers is the branch-and-bound worker budget handed to MILP
+// solvers (0 = GOMAXPROCS); the other solvers ignore it.
+func resolveSolver(name string, solverWorkers int) (core.Solver, error) {
 	switch name {
 	case "", "milp":
-		return &core.MILPSolver{Formulation: core.FormulationReduced}, nil
+		return &core.MILPSolver{Formulation: core.FormulationReduced, SolverWorkers: solverWorkers}, nil
 	case "milp-literal":
-		return &core.MILPSolver{Formulation: core.FormulationLiteral}, nil
+		return &core.MILPSolver{Formulation: core.FormulationLiteral, SolverWorkers: solverWorkers}, nil
 	case "cardsearch":
 		return &core.CardinalitySearchSolver{}, nil
 	case "greedy-aggregate":
@@ -235,13 +237,21 @@ func resolveSolver(name string) (core.Solver, error) {
 // marked transient — centralizing the retry classification here lets later
 // PRs escalate node budgets per attempt; everything else — parse errors,
 // infeasibility, context expiry — is permanent.
-func PipelineRunner(m *Metrics) Runner {
+func PipelineRunner(m *Metrics) Runner { return PipelineRunnerWorkers(m, 0) }
+
+// PipelineRunnerWorkers is PipelineRunner with a default branch-and-bound
+// worker budget, applied when a job spec does not set solver_workers.
+func PipelineRunnerWorkers(m *Metrics, solverWorkers int) Runner {
 	return func(ctx context.Context, spec JobSpec) (*ResultJSON, error) {
 		md, err := ResolveMetadata(spec)
 		if err != nil {
 			return nil, err
 		}
-		solver, err := resolveSolver(spec.Solver)
+		workers := spec.SolverWorkers
+		if workers <= 0 {
+			workers = solverWorkers
+		}
+		solver, err := resolveSolver(spec.Solver, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -258,6 +268,7 @@ func PipelineRunner(m *Metrics) Runner {
 		}
 		if m != nil {
 			m.Components(res.ComponentsSolved, res.ComponentsReused)
+			m.BBNodes(res.SolverNodes)
 		}
 		return EncodeResult(res), nil
 	}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -12,6 +13,10 @@ import (
 type Config struct {
 	// Workers is the worker-pool size (0 = GOMAXPROCS).
 	Workers int
+	// SolverWorkers is the default branch-and-bound worker budget per job
+	// (0 = GOMAXPROCS); a job's solver_workers overrides it. Worker counts
+	// never change the computed repair.
+	SolverWorkers int
 	// QueueCapacity bounds pending jobs (0 = 1024).
 	QueueCapacity int
 	// JobTimeout is the default per-job deadline (0 = 60s).
@@ -52,10 +57,10 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	run := cfg.Runner
+	if run == nil {
+		run = PipelineRunnerWorkers(s.metrics, cfg.SolverWorkers)
+	}
 	if cfg.ResultCacheSize > 0 {
-		if run == nil {
-			run = PipelineRunner(s.metrics)
-		}
 		run = CachingRunner(run, cfg.ResultCacheSize, s.metrics)
 	}
 	s.pool = &Pool{
@@ -67,7 +72,11 @@ func New(cfg Config) *Server {
 		MaxAttempts: cfg.MaxAttempts,
 		Backoff:     cfg.Backoff,
 	}
-	s.metrics.Bind(s.queue.Depth, s.pool.workerCount())
+	bb := cfg.SolverWorkers
+	if bb <= 0 {
+		bb = runtime.GOMAXPROCS(0)
+	}
+	s.metrics.Bind(s.queue.Depth, s.pool.workerCount(), bb)
 	s.routes()
 	return s
 }

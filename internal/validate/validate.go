@@ -188,6 +188,9 @@ type Outcome struct {
 	// work across the loop; reused components were served from the prepared
 	// problem's memo without re-solving (both 0 with DisablePreparedReuse).
 	ComponentsSolved, ComponentsReused int
+	// SolverNodes totals the branch-and-bound nodes explored across every
+	// solve of the loop (schedule-dependent under parallel solving).
+	SolverNodes int
 	// Forced is the final set of operator-pinned values.
 	Forced map[core.Item]float64
 }
@@ -248,6 +251,7 @@ func (s *Session) Run() (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
+		out.SolverNodes += res.Nodes
 		if res.Status != milp.StatusOptimal {
 			return nil, fmt.Errorf("validate: repair computation ended with status %v", res.Status)
 		}
