@@ -6,7 +6,7 @@
 //
 //	dart -in doc.html [-metadata md.txt | -scenario cashbudget|catalog]
 //	     [-interactive] [-show-milp] [-solver milp|cardsearch|greedy]
-//	     [-timeout 30s]
+//	     [-timeout 30s] [-trace out.jsonl]
 //
 // With no -in, the built-in running example of the paper (Fig. 1 with the
 // 250-for-220 acquisition error) is processed.
@@ -23,6 +23,7 @@ import (
 	"dart/internal/core"
 	"dart/internal/docgen"
 	"dart/internal/metadata"
+	"dart/internal/obs"
 	"dart/internal/scenario"
 )
 
@@ -45,6 +46,7 @@ func run() error {
 		saveFile     = flag.String("save", "", "write the repaired database to this file (relational text format)")
 		lpFile       = flag.String("save-lp", "", "write the S*(AC) MILP instance to this file (CPLEX LP format)")
 		timeout      = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s); 0 = no limit")
+		traceFile    = flag.String("trace", "", "write the run's span trace to this file as JSONL (one span per line)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,27 @@ func run() error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *traceFile, err)
+		}
+		defer f.Close()
+		tracer := obs.New(obs.Config{Capacity: 1, Export: f})
+		root := tracer.StartTrace("run")
+		ctx = obs.ContextWithSpan(ctx, root)
+		// End the root before the deferred close so the trace is flushed;
+		// a failing sink surfaces as an error rather than a silent no-op.
+		defer func() {
+			root.End()
+			if err := tracer.ExportErr(); err != nil {
+				fmt.Fprintf(os.Stderr, "dart: trace export: %v\n", err)
+			} else {
+				fmt.Printf("wrote trace to %s\n", *traceFile)
+			}
+		}()
 	}
 
 	md, err := loadMetadata(*metadataFile, *scenarioName)

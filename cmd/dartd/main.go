@@ -6,15 +6,19 @@
 //
 //	dartd [-addr :8080] [-workers N] [-queue 1024]
 //	      [-job-timeout 60s] [-attempts 3] [-drain-timeout 30s]
-//	      [-result-cache 256]
+//	      [-result-cache 256] [-trace-buffer 256] [-trace-export t.jsonl]
+//	      [-pprof] [-log text|json]
 //
 // API:
 //
-//	POST /v1/jobs       {"document": "...", "scenario": "cashbudget"} -> 202 {"id": "job-000001", ...}
-//	GET  /v1/jobs/{id}  job status; includes the repair result when done
-//	GET  /v1/jobs       list all jobs
-//	GET  /healthz       liveness (503 while draining)
-//	GET  /metrics       Prometheus text format
+//	POST /v1/jobs             {"document": "...", "scenario": "cashbudget"} -> 202 {"id": "job-000001", ...}
+//	GET  /v1/jobs/{id}        job status; includes the repair result when done
+//	GET  /v1/jobs/{id}/trace  the job's finished span tree (tracing only)
+//	GET  /v1/jobs             list all jobs
+//	GET  /debug/traces        the N slowest recent traces (tracing only)
+//	GET  /debug/pprof/        runtime profiles (-pprof only)
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             Prometheus text format
 //
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, in-flight and
 // queued jobs finish (bounded by -drain-timeout), then the process exits.
@@ -31,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"dart/internal/obs"
 	"dart/internal/service"
 )
 
@@ -51,8 +56,33 @@ func run() error {
 		attempts     = flag.Int("attempts", 3, "max runs per job (retries are attempts-1)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		resultCache  = flag.Int("result-cache", 256, "serve repeated (document, metadata, solver) submissions from an LRU of this many results; 0 disables")
+		traceBuffer  = flag.Int("trace-buffer", 256, "retain the last N job traces for /v1/jobs/{id}/trace and /debug/traces; 0 disables tracing")
+		traceExport  = flag.String("trace-export", "", "append every finished trace to this JSONL file (one span per line)")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logFormat    = flag.String("log", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("-log must be text or json, got %q", *logFormat)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat)
+
+	var tracer *obs.Tracer
+	var exportFile *os.File
+	if *traceBuffer > 0 || *traceExport != "" {
+		cfg := obs.Config{Capacity: *traceBuffer}
+		if *traceExport != "" {
+			f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("opening trace export: %w", err)
+			}
+			exportFile = f
+			defer exportFile.Close()
+			cfg.Export = f
+		}
+		tracer = obs.New(cfg)
+	}
 
 	srv := service.New(service.Config{
 		Workers:         *workers,
@@ -61,6 +91,9 @@ func run() error {
 		JobTimeout:      *jobTimeout,
 		MaxAttempts:     *attempts,
 		ResultCacheSize: *resultCache,
+		Tracer:          tracer,
+		Logger:          logger,
+		EnablePprof:     *enablePprof,
 	})
 	srv.Start()
 
@@ -71,7 +104,8 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("dartd: listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr, "version", service.Version,
+			"tracing", tracer != nil, "pprof", *enablePprof)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -83,7 +117,7 @@ func run() error {
 	case <-sigCtx.Done():
 	}
 
-	fmt.Println("dartd: draining...")
+	logger.Info("draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Drain the pool first so /healthz flips to 503 and queued jobs finish,
@@ -95,6 +129,11 @@ func run() error {
 	if poolErr != nil {
 		return fmt.Errorf("drain incomplete: %w", poolErr)
 	}
-	fmt.Println("dartd: drained cleanly")
+	if tracer != nil {
+		if err := tracer.ExportErr(); err != nil {
+			logger.Error("trace export", "error", err.Error())
+		}
+	}
+	logger.Info("drained cleanly")
 	return nil
 }

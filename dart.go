@@ -32,6 +32,7 @@ import (
 	"dart/internal/core"
 	"dart/internal/dbgen"
 	"dart/internal/metadata"
+	"dart/internal/obs"
 	"dart/internal/relational"
 	"dart/internal/validate"
 	"dart/internal/wrapper"
@@ -98,16 +99,34 @@ type Pipeline struct {
 	Observer StageObserver
 }
 
-// StageObserver receives per-stage pipeline latencies.
+// StageObserver receives per-stage pipeline latencies. It predates the
+// span tracer (internal/obs) and survives as a shim: stages are now traced
+// as spans named "stage.<name>" on the context's trace, and the observer is
+// fed the same interval, so existing histogram plumbing keeps working
+// unchanged.
 type StageObserver interface {
 	// ObserveStage records that the named stage took d.
 	ObserveStage(stage string, d time.Duration)
 }
 
-// observe times one stage and reports it to the observer, if any.
-func (p *Pipeline) observe(stage string, start time.Time) {
-	if p.Observer != nil {
-		p.Observer.ObserveStage(stage, time.Since(start))
+// stage begins one pipeline-stage measurement: a "stage.<name>" span as a
+// child of ctx's trace span (when tracing is on) plus the StageObserver
+// shim. It returns a context carrying the stage span (so nested work —
+// component solves, validation iterations — attaches beneath it) and a func
+// ending both the span and the observer interval. Without a span in ctx the
+// context is returned unchanged and only the shim fires.
+func (p *Pipeline) stage(ctx context.Context, name string) (context.Context, func()) {
+	start := time.Now()
+	var sp *obs.Span
+	if parent := obs.FromContext(ctx); parent != nil {
+		sp = parent.StartChild("stage." + name)
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+	return ctx, func() {
+		sp.End()
+		if p.Observer != nil {
+			p.Observer.ObserveStage(name, time.Since(start))
+		}
 	}
 }
 
@@ -168,34 +187,34 @@ func (p *Pipeline) AcquireContext(ctx context.Context, src string) (*Acquisition
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	_, endConvert := p.stage(ctx, "convert")
 	html, err := convert.ToHTML(src, convert.Detect(src))
+	endConvert()
 	if err != nil {
 		return nil, fmt.Errorf("dart: format conversion: %w", err)
 	}
-	p.observe("convert", start)
 	w := p.Metadata.NewWrapper()
-	start = time.Now()
+	_, endWrapper := p.stage(ctx, "wrapper")
 	instances, skipped, err := w.Extract(html)
+	endWrapper()
 	if err != nil {
 		return nil, fmt.Errorf("dart: extraction: %w", err)
 	}
-	p.observe("wrapper", start)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	_, endDbgen := p.stage(ctx, "dbgen")
 	db, rowErrs, err := p.Metadata.NewGenerator().Generate(instances)
+	endDbgen()
 	if err != nil {
 		return nil, fmt.Errorf("dart: database generation: %w", err)
 	}
-	p.observe("dbgen", start)
-	start = time.Now()
+	_, endCheck := p.stage(ctx, "check")
 	viols, err := aggrcons.Check(db, p.Metadata.Constraints(), 1e-9)
+	endCheck()
 	if err != nil {
 		return nil, fmt.Errorf("dart: consistency check: %w", err)
 	}
-	p.observe("check", start)
 	var repairs []StringRepair
 	for _, in := range instances {
 		repairs = append(repairs, in.Corrections()...)
@@ -238,20 +257,25 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 		return res, nil
 	}
 	if p.Operator == nil {
-		solverStart := time.Now()
-		start := time.Now()
+		sctx, endSolver := p.stage(ctx, "solver")
+		pctx, endPrepare := p.stage(sctx, "prepare")
 		prob, err := core.Prepare(acq.Database, p.Metadata.Constraints())
+		if sp := obs.FromContext(pctx); sp != nil && err == nil {
+			sp.SetInt("vars", prob.N())
+			sp.SetInt("rows", len(prob.System().Rows))
+		}
+		endPrepare()
+		if err != nil {
+			endSolver()
+			return nil, fmt.Errorf("dart: repair: %w", err)
+		}
+		rctx, endResolve := p.stage(sctx, "resolve")
+		r, err := solver.SolveProblem(rctx, prob, nil)
+		endResolve()
+		endSolver()
 		if err != nil {
 			return nil, fmt.Errorf("dart: repair: %w", err)
 		}
-		p.observe("prepare", start)
-		start = time.Now()
-		r, err := solver.SolveProblem(ctx, prob, nil)
-		if err != nil {
-			return nil, fmt.Errorf("dart: repair: %w", err)
-		}
-		p.observe("resolve", start)
-		p.observe("solver", solverStart)
 		if r.Repair == nil {
 			return nil, fmt.Errorf("dart: no repair found (status %v)", r.Status)
 		}
@@ -266,12 +290,13 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 		res.SolverNodes = r.Nodes
 		return res, nil
 	}
+	sctx, endSolver := p.stage(ctx, "solver")
 	session := &validate.Session{
 		DB:                 acq.Database,
 		Constraints:        p.Metadata.Constraints(),
 		Solver:             solver,
 		Operator:           p.Operator,
-		Context:            ctx,
+		Context:            sctx,
 		ReviewPerIteration: p.ReviewPerIteration,
 	}
 	if p.Observer != nil {
@@ -279,12 +304,11 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 			p.Observer.ObserveStage(stage, d)
 		}
 	}
-	start := time.Now()
 	out, err := session.Run()
+	endSolver()
 	if err != nil {
 		return nil, fmt.Errorf("dart: validation loop: %w", err)
 	}
-	p.observe("solver", start)
 	res.Repair = out.Final
 	res.Repaired = out.Repaired
 	res.Validation = out

@@ -10,6 +10,7 @@ import (
 
 	"dart/internal/aggrcons"
 	"dart/internal/milp"
+	"dart/internal/obs"
 	"dart/internal/relational"
 )
 
@@ -215,6 +216,35 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 	reused := make([]bool, len(pending))
 	errs := make([]error, len(pending))
 	solveOne := func(ctx context.Context, i int, pc pendingComp) {
+		// One "repair.component" span per component solve: sizes up front,
+		// solver work (or the memo hit) on completion.
+		if span := obs.FromContext(ctx).StartChild("repair.component"); span != nil {
+			defer span.End()
+			span.SetInt("component", pc.ci)
+			span.SetInt("vars", pc.sub.N())
+			span.SetInt("rows", len(pc.sub.Rows))
+			occ := 0
+			for _, r := range pc.sub.Rows {
+				occ += len(r.Coeffs)
+			}
+			span.SetInt("occurrences", occ)
+			ctx = obs.ContextWithSpan(ctx, span)
+			defer func() {
+				if res := results[i]; res != nil {
+					span.SetBool("memo_hit", reused[i])
+					span.SetStr("status", res.Status.String())
+					span.SetInt("nodes", res.Nodes)
+					span.SetInt("lp_iterations", res.Iterations)
+					span.SetInt("escalations", res.Escalations)
+					span.SetFloat("big_m", res.M)
+					if res.Repair != nil {
+						span.SetInt("card", res.Repair.Card())
+					}
+				} else if errs[i] != nil {
+					span.SetStr("error", errs[i].Error())
+				}
+			}()
+		}
 		key := pinKey(pc.sub, forced)
 		if m, ok := prob.lookupComponent(fp, pc.ci, key); ok {
 			results[i] = m.res
@@ -341,6 +371,10 @@ func (s *MILPSolver) solveSystem(ctx context.Context, sys *System, forced map[It
 	if opts.Workers == 0 {
 		opts.Workers = nodeWorkers
 	}
+	// Attach the branch-and-bound's per-worker spans and search events to
+	// the enclosing span (the component solve, typically). Observational
+	// only: never part of the solver fingerprint.
+	opts.Trace = obs.FromContext(ctx)
 	mBound := s.BigM
 	if mBound <= 0 {
 		mBound = sys.PracticalM()

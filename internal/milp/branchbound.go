@@ -5,6 +5,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"dart/internal/obs"
 )
 
 // MILPOptions tunes the branch-and-bound search. The zero value selects
@@ -44,6 +46,13 @@ type MILPOptions struct {
 	// objective coefficients integral on integer variables) — the
 	// card-minimal repair objective is one — and ignored otherwise.
 	CutoffObjective *float64
+	// Trace, when non-nil, is the parent span the search attaches its
+	// observability to: one "milp.worker" child span per worker (node and
+	// LP-iteration counts) plus "incumbent" events on every incumbent
+	// replacement and a "cutoff" event when a warm-start cutoff is armed.
+	// Purely observational — it never changes results and never enters
+	// solver fingerprints; a nil Trace costs only nil checks.
+	Trace *obs.Span
 }
 
 func (o MILPOptions) withDefaults() MILPOptions {
@@ -214,6 +223,7 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 	cutoff := math.Inf(1)
 	if opt.CutoffObjective != nil && integral {
 		cutoff = *opt.CutoffObjective + 1
+		opt.Trace.EventFloat("cutoff", "objective", *opt.CutoffObjective)
 	}
 
 	p := &bbProblem{
@@ -228,15 +238,15 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 	sh := newBBShared(&bbNode{bound: math.Inf(-1)})
 
 	if nw := opt.workerCount(); nw <= 1 {
-		p.runWorker(sh)
+		p.runWorker(sh, 0)
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < nw; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				p.runWorker(sh)
-			}()
+				p.runWorker(sh, w)
+			}(w)
 		}
 		wg.Wait()
 	}

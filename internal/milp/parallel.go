@@ -40,6 +40,8 @@ import (
 	"container/heap"
 	"math"
 	"sync"
+
+	"dart/internal/obs"
 )
 
 // bbProblem is the read-only half of a branch-and-bound search, shared by
@@ -110,12 +112,15 @@ type bbWorker struct {
 	x     []float64 // LP solution of the current node
 	cand  []float64 // rounded-candidate scratch
 	chain []*bbNode // parent-chain scratch for materialize
+	span  *obs.Span // per-worker trace span (nil when tracing is off)
+	nodes int       // nodes this worker expanded (trace attribute)
+	iters int       // LP pivots this worker performed (trace attribute)
 }
 
 // runWorker drains the shared frontier until the search stops. The loop
 // polls opt.Cancel once per dequeue (inside next), so cancellation is
 // honored at node granularity exactly like the sequential solver.
-func (p *bbProblem) runWorker(sh *bbShared) {
+func (p *bbProblem) runWorker(sh *bbShared, idx int) {
 	nv := p.m.NumVars()
 	w := &bbWorker{
 		s:    acquireSimplex(),
@@ -123,8 +128,17 @@ func (p *bbProblem) runWorker(sh *bbShared) {
 		ub:   make([]float64, nv),
 		x:    make([]float64, nv),
 		cand: make([]float64, nv),
+		span: p.opt.Trace.StartChild("milp.worker"),
 	}
 	defer releaseSimplex(w.s)
+	if w.span != nil {
+		w.span.SetInt("worker", idx)
+		defer func() {
+			w.span.SetInt("nodes", w.nodes)
+			w.span.SetInt("lp_iterations", w.iters)
+			w.span.End()
+		}()
+	}
 	first := true
 	for {
 		node, noInc := sh.next(p)
@@ -136,7 +150,19 @@ func (p *bbProblem) runWorker(sh *bbShared) {
 		// bound for their subtree instead of waiting for the root's.
 		tryHeur := !p.opt.DisableRounding && (node.depth == 0 || (first && noInc))
 		first = false
+		w.nodes++
 		p.expand(sh, w, node, tryHeur)
+	}
+}
+
+// publish commits one node outcome to the shared state and records an
+// "incumbent" event on the worker's span when the outcome replaced the
+// incumbent. Kept out of complete so the span work happens outside sh.mu.
+func (p *bbProblem) publish(sh *bbShared, w *bbWorker, out nodeOutcome) {
+	w.iters += out.iters
+	obj, improved := sh.complete(p, out)
+	if improved && w.span != nil {
+		w.span.EventFloat("incumbent", "objective", obj)
 	}
 }
 
@@ -184,22 +210,22 @@ func (p *bbProblem) expand(sh *bbShared, w *bbWorker, node *bbNode, tryHeur bool
 	st, err := w.s.run()
 	out := nodeOutcome{iters: w.s.iters, node: node, err: err}
 	if err != nil {
-		sh.complete(p, out)
+		p.publish(sh, w, out)
 		return
 	}
 	switch st {
 	case StatusInfeasible:
-		sh.complete(p, out)
+		p.publish(sh, w, out)
 		return
 	case StatusUnbounded:
 		// Unbounded below a bounded root cannot happen; at the root it
 		// decides the whole solve. Deeper nodes die defensively.
 		out.unbounded = node.depth == 0
-		sh.complete(p, out)
+		p.publish(sh, w, out)
 		return
 	case StatusIterLimit:
 		out.iterLimit = true
-		sh.complete(p, out)
+		p.publish(sh, w, out)
 		return
 	}
 	obj := w.s.objective()
@@ -218,14 +244,14 @@ func (p *bbProblem) expand(sh *bbShared, w *bbWorker, node *bbNode, tryHeur bool
 			out.cand = true
 			out.candObj = candidateObjective(p.m, w.cand, obj, p.integral)
 			out.candX = w.cand
-			sh.complete(p, out)
+			p.publish(sh, w, out)
 			return
 		}
 		frac = mostFractional(p.m, w.x, 1e-15)
 		if frac < 0 {
 			// Exactly integral yet rounding-infeasible cannot happen;
 			// treat defensively as a numerical dead end.
-			sh.complete(p, out)
+			p.publish(sh, w, out)
 			return
 		}
 	}
@@ -247,7 +273,7 @@ func (p *bbProblem) expand(sh *bbShared, w *bbWorker, node *bbNode, tryHeur bool
 	if up := math.Ceil(xv); up <= w.ub[frac]+1e-12 {
 		out.up = newNode(node, frac, up, false, obj, node.seq+"1")
 	}
-	sh.complete(p, out)
+	p.publish(sh, w, out)
 }
 
 // next blocks until a frontier node is available or the search is over. It
@@ -349,7 +375,9 @@ func (sh *bbShared) betterLocked(obj float64, accepted bool, seq string) bool {
 // complete publishes one expanded node's outcome: accumulate counters,
 // offer candidates to the incumbent, enqueue surviving children, recycle
 // dead nodes, and update termination state — one lock acquisition per node.
-func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) {
+// It reports whether the outcome replaced the incumbent, and with what
+// objective, so publish can record the event without holding sh.mu.
+func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) (incObj float64, improved bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.iters += out.iters
@@ -361,12 +389,12 @@ func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) {
 			sh.err = out.err
 		}
 		sh.stopped = true
-		return
+		return 0, false
 	}
 	if out.unbounded && !sh.inc.ok {
 		sh.unbounded = true
 		sh.stopped = true
-		return
+		return 0, false
 	}
 	if out.iterLimit {
 		sh.hitLimit = true
@@ -378,9 +406,11 @@ func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) {
 			ok: true, accepted: true, obj: out.candObj, seq: out.node.seq,
 			x: append(sh.inc.x[:0], out.candX...),
 		}
+		incObj, improved = out.candObj, true
 	}
 	if out.heur && sh.betterLocked(out.heurObj, false, out.node.seq) {
 		sh.inc = bbIncumbent{ok: true, accepted: false, obj: out.heurObj, seq: out.node.seq, x: out.heurX}
+		incObj, improved = out.heurObj, true
 	}
 	childKept := false
 	for _, child := range [2]*bbNode{out.down, out.up} {
@@ -411,6 +441,7 @@ func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) {
 	if sh.active == 0 && len(sh.frontier) == 0 {
 		sh.stopped = true
 	}
+	return incObj, improved
 }
 
 // result assembles the MILPResult after every worker has exited, matching

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SpanRecord is the immutable wire/storage form of one finished span: the
+// JSONL exporter writes one record per line, and the dartd debug endpoints
+// serve trees built from them.
+type SpanRecord struct {
+	TraceID    string         `json:"trace_id"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []EventRecord  `json:"events,omitempty"`
+}
+
+// EventRecord is one point-in-time occurrence within a span, offset from
+// the span's start.
+type EventRecord struct {
+	Name     string         `json:"name"`
+	OffsetNS int64          `json:"offset_ns"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// Trace is one finished trace: the root span's identity and timing plus
+// every span recorded under it, ordered by start time.
+type Trace struct {
+	TraceID    string        `json:"trace_id"`
+	Name       string        `json:"name"`
+	Start      time.Time     `json:"start"`
+	DurationNS int64         `json:"duration_ns"`
+	Spans      []*SpanRecord `json:"spans"`
+}
+
+// Duration returns the trace's wall-clock duration.
+func (tr *Trace) Duration() time.Duration { return time.Duration(tr.DurationNS) }
+
+// SpanNode is one node of a rendered span tree.
+type SpanNode struct {
+	*SpanRecord
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree assembles the trace's spans into their parent-link tree, children
+// ordered by start time. Spans whose parent is missing (which only happens
+// for artificially truncated traces) attach to the root.
+func (tr *Trace) Tree() *SpanNode {
+	nodes := make(map[string]*SpanNode, len(tr.Spans))
+	var root *SpanNode
+	for _, s := range tr.Spans {
+		nodes[s.SpanID] = &SpanNode{SpanRecord: s}
+	}
+	for _, s := range tr.Spans {
+		if s.ParentID == "" {
+			root = nodes[s.SpanID]
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	for _, s := range tr.Spans {
+		n := nodes[s.SpanID]
+		if n == root {
+			continue
+		}
+		parent, ok := nodes[s.ParentID]
+		if !ok {
+			parent = root
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	return root
+}
+
+// writeSpans emits one JSON object per span per line.
+func writeSpans(w io.Writer, spans []*SpanRecord) error {
+	enc := json.NewEncoder(w) // Encode appends the newline JSONL needs
+	enc.SetEscapeHTML(false)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSpans parses a JSONL span stream (the dartd -trace-export / dart
+// -trace artifact) back into records, skipping blank lines.
+func ReadSpans(r io.Reader) ([]*SpanRecord, error) {
+	var out []*SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		rec := new(SpanRecord)
+		if err := json.Unmarshal(sc.Bytes(), rec); err != nil {
+			return nil, fmt.Errorf("obs: span line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AssembleTraces groups span records by trace ID into finished traces,
+// ordered by each trace's start time. The root span (empty parent) supplies
+// the trace's name and timing; traces without a root are dropped.
+func AssembleTraces(spans []*SpanRecord) []*Trace {
+	byTrace := make(map[string][]*SpanRecord)
+	var ids []string
+	for _, s := range spans {
+		if _, ok := byTrace[s.TraceID]; !ok {
+			ids = append(ids, s.TraceID)
+		}
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	var out []*Trace
+	for _, id := range ids {
+		group := byTrace[id]
+		sort.SliceStable(group, func(i, j int) bool {
+			if !group[i].Start.Equal(group[j].Start) {
+				return group[i].Start.Before(group[j].Start)
+			}
+			return group[i].SpanID < group[j].SpanID
+		})
+		var root *SpanRecord
+		for _, s := range group {
+			if s.ParentID == "" {
+				root = s
+				break
+			}
+		}
+		if root == nil {
+			continue
+		}
+		out = append(out, &Trace{
+			TraceID:    id,
+			Name:       root.Name,
+			Start:      root.Start,
+			DurationNS: root.DurationNS,
+			Spans:      group,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildSample records two traces (with attributes, events, and nesting)
+// into a tracer exporting to buf, and returns the tracer.
+func buildSample(buf *bytes.Buffer) *Tracer {
+	tr := New(Config{Export: buf, Now: fakeClock()})
+	for _, name := range []string{"job-a", "job-b"} {
+		root := tr.StartTrace(name)
+		root.SetStr("job_id", name)
+		stage := root.StartChild("stage.solver")
+		comp := stage.StartChild("repair.component")
+		comp.SetInt("vars", 4)
+		comp.EventFloat("incumbent", "objective", 2)
+		comp.End()
+		stage.End()
+		root.End()
+	}
+	return tr
+}
+
+// TestJSONLRoundTrip exports two traces as JSONL, reads them back, and
+// checks the reassembled traces are byte-identical (as JSON) to the ones
+// the tracer retained.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := buildSample(&buf)
+	if err := tr.ExportErr(); err != nil {
+		t.Fatalf("export error: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 6 {
+		t.Fatalf("exported %d JSONL lines, want 6 (2 traces x 3 spans)", lines)
+	}
+
+	spans, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(spans) != 6 {
+		t.Fatalf("read %d spans, want 6", len(spans))
+	}
+
+	got := AssembleTraces(spans)
+	want := tr.Recent()
+	if len(got) != len(want) {
+		t.Fatalf("assembled %d traces, want %d", len(got), len(want))
+	}
+	for i := range want {
+		gj, err := json.Marshal(got[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wj, err := json.Marshal(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gj, wj) {
+			t.Errorf("trace %d round-trip mismatch:\n got: %s\nwant: %s", i, gj, wj)
+		}
+	}
+
+	// The reassembled trace must still render a well-formed tree.
+	tree := got[0].Tree()
+	if tree == nil || tree.Name != "job-a" ||
+		len(tree.Children) != 1 || tree.Children[0].Name != "stage.solver" ||
+		len(tree.Children[0].Children) != 1 {
+		t.Errorf("round-tripped tree malformed: %+v", tree)
+	}
+}
+
+func TestReadSpansSkipsBlankAndReportsBadLines(t *testing.T) {
+	spans, err := ReadSpans(strings.NewReader("\n{\"trace_id\":\"t\",\"span_id\":\"s\",\"name\":\"n\",\"start\":\"2026-08-06T12:00:00Z\",\"duration_ns\":1}\n\n"))
+	if err != nil || len(spans) != 1 {
+		t.Fatalf("ReadSpans = (%d, %v), want 1 span", len(spans), err)
+	}
+	if _, err := ReadSpans(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("ReadSpans accepted a malformed line")
+	}
+}
+
+func TestExporterErrorSticks(t *testing.T) {
+	tr := New(Config{Export: failWriter{}, Now: fakeClock()})
+	root := tr.StartTrace("t")
+	root.End()
+	if tr.ExportErr() == nil {
+		t.Fatal("exporter error not surfaced")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = &json.UnsupportedValueError{Str: "sink failed"}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a structured logger writing to w in the given format
+// ("json" for one JSON object per line, anything else for logfmt-style
+// text). dartd logs job lifecycle events through it, keyed by job and
+// trace IDs so log lines join against the trace artifact.
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}
+
+// WithSpan annotates a logger with a span's trace and span IDs, so every
+// line it emits can be joined against the exported trace. A nil span (or
+// logger) passes the logger through unchanged.
+func WithSpan(l *slog.Logger, s *Span) *slog.Logger {
+	if l == nil || s == nil {
+		return l
+	}
+	return l.With("trace_id", s.TraceID(), "span_id", s.SpanID())
+}

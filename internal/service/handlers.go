@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 
 	"dart/internal/analysis/specvet"
 )
@@ -18,8 +20,19 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.enablePprof {
+		// The debug mux of net/http/pprof registers on DefaultServeMux;
+		// mount the handlers explicitly so the flag actually gates them.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // writeJSON emits one JSON response.
@@ -84,6 +97,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.JobSubmitted()
+	if s.logger != nil {
+		s.logger.Info("job submitted", "job_id", view.ID,
+			"scenario", spec.Scenario, "solver", spec.Solver)
+	}
 	w.Header().Set("Location", "/v1/jobs/"+view.ID)
 	writeJSON(w, http.StatusAccepted, view)
 }
@@ -106,6 +123,88 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handleJobTrace serves one job's span tree. 404 covers both an unknown job
+// and a trace already evicted from the ring buffer; 501 tells clients the
+// server runs without tracing at all.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotImplemented, "tracing is disabled (start dartd with -trace-buffer > 0)")
+		return
+	}
+	id := r.PathValue("id")
+	view, ok := s.queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if view.TraceID == "" {
+		writeError(w, http.StatusNotFound, "job %q has not started (no trace yet)", id)
+		return
+	}
+	tr, ok := s.tracer.Trace(view.TraceID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace %s evicted from the ring buffer", view.TraceID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job_id":      id,
+		"trace_id":    tr.TraceID,
+		"state":       view.State,
+		"start":       tr.Start,
+		"duration_ns": tr.DurationNS,
+		"spans":       len(tr.Spans),
+		"tree":        tr.Tree(),
+	})
+}
+
+// traceSummary is one row of GET /debug/traces.
+type traceSummary struct {
+	TraceID    string  `json:"trace_id"`
+	Name       string  `json:"name"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+	JobID      string  `json:"job_id,omitempty"`
+}
+
+// handleDebugTraces lists the N slowest recent traces (default 10).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotImplemented, "tracing is disabled (start dartd with -trace-buffer > 0)")
+		return
+	}
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "n must be a positive integer, got %q", q)
+			return
+		}
+		n = v
+	}
+	slowest := s.tracer.Slowest(n)
+	out := make([]traceSummary, 0, len(slowest))
+	for _, tr := range slowest {
+		row := traceSummary{
+			TraceID:    tr.TraceID,
+			Name:       tr.Name,
+			Start:      tr.Start.Format("2006-01-02T15:04:05.000Z07:00"),
+			DurationMS: float64(tr.DurationNS) / 1e6,
+			Spans:      len(tr.Spans),
+		}
+		if root := tr.Tree(); root != nil && root.Attrs != nil {
+			if id, ok := root.Attrs["job_id"].(string); ok {
+				row.JobID = id
+			}
+		}
+		out = append(out, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces": out,
+		"count":  len(out),
+	})
 }
 
 // handleHealthz reports liveness; a draining server answers 503 so load

@@ -3,11 +3,16 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 )
+
+// Version identifies the build in dart_build_info; release builds override
+// it via -ldflags "-X dart/internal/service.Version=v1.2.3".
+var Version = "dev"
 
 // histBuckets are the latency histogram upper bounds in seconds,
 // exponential from 0.5ms to 60s.
@@ -16,36 +21,43 @@ var histBuckets = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
-// histogram is a fixed-bucket latency histogram.
+// histogram is a fixed-bucket latency histogram. counts[i] holds the
+// observations that fell into bucket i alone (counts[len(histBuckets)] is
+// the +Inf overflow); the cumulative totals the Prometheus text format wants
+// are accumulated at write time. Storing per-bucket counts makes observe
+// O(log buckets) — one binary search and one increment — instead of
+// incrementing every bucket at or above the observation.
 type histogram struct {
-	counts []uint64 // parallel to histBuckets
+	counts []uint64 // per-bucket, parallel to histBuckets plus +Inf overflow
 	sum    float64
 	count  uint64
 }
 
 func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(histBuckets))}
+	return &histogram{counts: make([]uint64, len(histBuckets)+1)}
 }
 
 func (h *histogram) observe(seconds float64) {
-	for i, ub := range histBuckets {
-		if seconds <= ub {
-			h.counts[i]++
-		}
-	}
+	// First bucket whose upper bound is >= seconds: exactly Prometheus's
+	// "le" semantics. SearchFloat64s returns len(histBuckets) when the
+	// observation exceeds every bound — the +Inf overflow slot.
+	h.counts[sort.SearchFloat64s(histBuckets, seconds)]++
 	h.sum += seconds
 	h.count++
 }
 
-// write emits the histogram in Prometheus cumulative-bucket text format.
+// write emits the histogram in Prometheus cumulative-bucket text format,
+// accumulating the per-bucket counts into running totals.
 func (h *histogram) write(w io.Writer, name, labels string) {
 	sep := ""
 	if labels != "" {
 		sep = ","
 	}
+	var cum uint64
 	for i, ub := range histBuckets {
+		cum += h.counts[i]
 		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep,
-			strconv.FormatFloat(ub, 'g', -1, 64), h.counts[i])
+			strconv.FormatFloat(ub, 'g', -1, 64), cum)
 	}
 	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count)
 	if labels != "" {
@@ -71,6 +83,7 @@ type Metrics struct {
 	updates        uint64
 	stages         map[string]*histogram
 	jobSeconds     *histogram
+	queueWait      *histogram
 	prepareSeconds *histogram
 	resolveSeconds *histogram
 	compSolved     uint64
@@ -82,6 +95,13 @@ type Metrics struct {
 	cacheMisses    uint64
 	queueDepth     func() int
 	workerCount    int
+
+	// Runtime sampling hooks, overridden by the golden exposition test so
+	// /metrics output is reproducible; production uses the defaults.
+	start      time.Time
+	now        func() time.Time
+	goroutines func() int
+	heapBytes  func() uint64
 }
 
 // NewMetrics creates an empty registry.
@@ -90,8 +110,17 @@ func NewMetrics() *Metrics {
 		finished:       make(map[JobState]uint64),
 		stages:         make(map[string]*histogram),
 		jobSeconds:     newHistogram(),
+		queueWait:      newHistogram(),
 		prepareSeconds: newHistogram(),
 		resolveSeconds: newHistogram(),
+		start:          time.Now(),
+		now:            time.Now,
+		goroutines:     runtime.NumGoroutine,
+		heapBytes: func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc
+		},
 	}
 }
 
@@ -188,6 +217,14 @@ func (m *Metrics) SpecRejected() {
 	m.specRejections++
 }
 
+// QueueWait records how long a job waited between submission and its first
+// dequeue by a worker.
+func (m *Metrics) QueueWait(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueWait.observe(d.Seconds())
+}
+
 // Retry counts one retried attempt.
 func (m *Metrics) Retry() {
 	m.mu.Lock()
@@ -223,6 +260,22 @@ func (m *Metrics) Snapshot() (submitted uint64, finished map[JobState]uint64) {
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP dart_build_info Build metadata; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE dart_build_info gauge")
+	fmt.Fprintf(w, "dart_build_info{version=%q,go_version=%q} 1\n", Version, runtime.Version())
+
+	fmt.Fprintln(w, "# HELP dart_uptime_seconds Seconds since the metrics registry was created.")
+	fmt.Fprintln(w, "# TYPE dart_uptime_seconds gauge")
+	fmt.Fprintf(w, "dart_uptime_seconds %g\n", m.now().Sub(m.start).Seconds())
+
+	fmt.Fprintln(w, "# HELP dart_goroutines Live goroutines at exposition time.")
+	fmt.Fprintln(w, "# TYPE dart_goroutines gauge")
+	fmt.Fprintf(w, "dart_goroutines %d\n", m.goroutines())
+
+	fmt.Fprintln(w, "# HELP dart_heap_bytes Heap bytes in use at exposition time.")
+	fmt.Fprintln(w, "# TYPE dart_heap_bytes gauge")
+	fmt.Fprintf(w, "dart_heap_bytes %d\n", m.heapBytes())
 
 	fmt.Fprintln(w, "# HELP dartd_jobs_submitted_total Jobs accepted for processing.")
 	fmt.Fprintln(w, "# TYPE dartd_jobs_submitted_total counter")
@@ -311,4 +364,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP dartd_job_seconds Whole-job latency (queue wait excluded).")
 	fmt.Fprintln(w, "# TYPE dartd_job_seconds histogram")
 	m.jobSeconds.write(w, "dartd_job_seconds", "")
+
+	fmt.Fprintln(w, "# HELP dart_queue_wait_seconds Time jobs spent queued before their first dequeue.")
+	fmt.Fprintln(w, "# TYPE dart_queue_wait_seconds histogram")
+	m.queueWait.write(w, "dart_queue_wait_seconds", "")
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"dart"
 	"dart/internal/core"
 	"dart/internal/metadata"
+	"dart/internal/obs"
 	"dart/internal/scenario"
 )
 
@@ -60,6 +62,13 @@ type Pool struct {
 	MaxAttempts int
 	// Backoff is the first retry delay, doubled per attempt (default 50ms).
 	Backoff time.Duration
+	// Tracer, when non-nil, records one trace per job: a root "job" span
+	// with every pipeline stage, solved component, and validation iteration
+	// beneath it. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, emits one structured line per finished job,
+	// keyed by job and trace IDs.
+	Logger *slog.Logger
 
 	wg      sync.WaitGroup
 	ctx     context.Context
@@ -135,6 +144,17 @@ func (p *Pool) runJob(job *Job) {
 	ctx, cancel := context.WithTimeout(p.ctx, p.jobTimeout(job.Spec))
 	defer cancel()
 
+	// Root span of the job's trace: every pipeline stage, component solve,
+	// and validation iteration nests beneath it via the job context.
+	span := p.Tracer.StartTrace("job")
+	if span != nil {
+		span.SetStr("job_id", job.ID)
+		span.SetStr("scenario", job.Spec.Scenario)
+		span.SetStr("solver", job.Spec.Solver)
+		ctx = obs.ContextWithSpan(ctx, span)
+		p.Queue.setTrace(job, span.TraceID())
+	}
+
 	maxAttempts := p.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = 3
@@ -147,8 +167,12 @@ func (p *Pool) runJob(job *Job) {
 	start := time.Now()
 	var res *ResultJSON
 	var err error
+	attempts := 0
 	for attempt := 1; ; attempt++ {
-		p.Queue.setRunning(job)
+		attempts = attempt
+		if wait, first := p.Queue.setRunning(job); first && p.Metrics != nil {
+			p.Metrics.QueueWait(wait)
+		}
 		res, err = p.Run(ctx, job.Spec)
 		if err == nil || !IsTransient(err) || attempt >= maxAttempts || ctx.Err() != nil {
 			break
@@ -156,6 +180,7 @@ func (p *Pool) runJob(job *Job) {
 		if p.Metrics != nil {
 			p.Metrics.Retry()
 		}
+		span.Event("retry")
 		if !sleepCtx(ctx, backoff) {
 			break
 		}
@@ -177,6 +202,24 @@ func (p *Pool) runJob(job *Job) {
 	p.Queue.finish(job, state, res, err)
 	if p.Metrics != nil {
 		p.Metrics.JobFinished(state, time.Since(start), res)
+	}
+	span.SetStr("state", string(state))
+	span.SetInt("attempts", attempts)
+	if err != nil {
+		span.SetStr("error", err.Error())
+	}
+	span.End()
+	if p.Logger != nil {
+		l := p.Logger.With("job_id", job.ID, "state", string(state),
+			"attempts", attempts, "duration_ms", time.Since(start).Milliseconds())
+		if span != nil {
+			l = l.With("trace_id", span.TraceID())
+		}
+		if err != nil {
+			l.Error("job finished", "error", err.Error())
+		} else {
+			l.Info("job finished")
+		}
 	}
 }
 

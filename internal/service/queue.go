@@ -58,6 +58,8 @@ type Job struct {
 	FinishedAt  time.Time
 	Error       string
 	Result      *ResultJSON
+	// TraceID links the job to its trace (empty when tracing is off).
+	TraceID string
 }
 
 // JobView is a consistent JSON snapshot of one job.
@@ -72,6 +74,7 @@ type JobView struct {
 	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
 	Error       string      `json:"error,omitempty"`
 	Result      *ResultJSON `json:"result,omitempty"`
+	TraceID     string      `json:"trace_id,omitempty"`
 }
 
 // Terminal reports whether the state is final.
@@ -188,15 +191,28 @@ func (q *Queue) Close() {
 	close(q.ch)
 }
 
-// setRunning transitions a job to running (one more attempt started).
-func (q *Queue) setRunning(job *Job) {
+// setRunning transitions a job to running (one more attempt started). It
+// returns how long the job sat in the queue and whether this is the job's
+// first attempt (the pair feeds the queue-wait histogram exactly once per
+// job).
+func (q *Queue) setRunning(job *Job) (wait time.Duration, first bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if job.State == StateQueued {
+	if job.State == StateQueued && job.StartedAt.IsZero() {
 		job.StartedAt = time.Now()
+		wait, first = job.StartedAt.Sub(job.SubmittedAt), true
 	}
 	job.State = StateRunning
 	job.Attempts++
+	return wait, first
+}
+
+// setTrace records the job's trace ID so API clients can fetch its span
+// tree once the job finishes.
+func (q *Queue) setTrace(job *Job, traceID string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job.TraceID = traceID
 }
 
 // finish records a job's terminal state.
@@ -221,6 +237,7 @@ func viewLocked(job *Job, includeResult bool) JobView {
 		Attempts:    job.Attempts,
 		SubmittedAt: job.SubmittedAt,
 		Error:       job.Error,
+		TraceID:     job.TraceID,
 	}
 	if !job.StartedAt.IsZero() {
 		t := job.StartedAt

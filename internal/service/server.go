@@ -2,10 +2,13 @@ package service
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"dart/internal/obs"
 )
 
 // Config tunes a Server. The zero value gets sensible defaults: GOMAXPROCS
@@ -32,29 +35,45 @@ type Config struct {
 	// many finished results, with hit/miss counters in /metrics. 0
 	// disables caching (every submission runs the pipeline).
 	ResultCacheSize int
+	// Tracer, when non-nil, records one span tree per job and serves it on
+	// GET /v1/jobs/{id}/trace and GET /debug/traces. Nil disables tracing.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, emits structured request and job logs.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Server is the dartd service: queue + pool + metrics behind an HTTP API.
 //
-//	POST /v1/jobs       submit a document (202, JobView)
-//	GET  /v1/jobs       list jobs (results omitted)
-//	GET  /v1/jobs/{id}  one job, result included when terminal
-//	GET  /healthz       liveness; 503 while draining
-//	GET  /metrics       Prometheus text format
+//	POST /v1/jobs             submit a document (202, JobView)
+//	GET  /v1/jobs             list jobs (results omitted)
+//	GET  /v1/jobs/{id}        one job, result included when terminal
+//	GET  /v1/jobs/{id}/trace  the job's finished span tree (tracing only)
+//	GET  /debug/traces        the N slowest recent traces (tracing only)
+//	GET  /debug/pprof/        runtime profiles (Config.EnablePprof only)
+//	GET  /healthz             liveness; 503 while draining
+//	GET  /metrics             Prometheus text format
 type Server struct {
-	queue    *Queue
-	pool     *Pool
-	metrics  *Metrics
-	mux      *http.ServeMux
-	draining atomic.Bool
+	queue       *Queue
+	pool        *Pool
+	metrics     *Metrics
+	tracer      *obs.Tracer
+	logger      *slog.Logger
+	enablePprof bool
+	mux         *http.ServeMux
+	draining    atomic.Bool
 }
 
 // New wires a stopped server; call Start before serving.
 func New(cfg Config) *Server {
 	s := &Server{
-		queue:   NewQueue(cfg.QueueCapacity),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
+		queue:       NewQueue(cfg.QueueCapacity),
+		metrics:     NewMetrics(),
+		tracer:      cfg.Tracer,
+		logger:      cfg.Logger,
+		enablePprof: cfg.EnablePprof,
+		mux:         http.NewServeMux(),
 	}
 	run := cfg.Runner
 	if run == nil {
@@ -71,6 +90,8 @@ func New(cfg Config) *Server {
 		JobTimeout:  cfg.JobTimeout,
 		MaxAttempts: cfg.MaxAttempts,
 		Backoff:     cfg.Backoff,
+		Tracer:      cfg.Tracer,
+		Logger:      cfg.Logger,
 	}
 	bb := cfg.SolverWorkers
 	if bb <= 0 {
@@ -92,6 +113,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Queue exposes the job store (benchmarks and tests).
 func (s *Server) Queue() *Queue { return s.queue }
+
+// Tracer exposes the span recorder, nil when tracing is off (tests).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Shutdown drains gracefully: new submissions get 503 immediately, queued
 // and in-flight jobs finish, workers exit. If ctx expires first, in-flight

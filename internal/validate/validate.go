@@ -28,6 +28,7 @@ import (
 	"dart/internal/aggrcons"
 	"dart/internal/core"
 	"dart/internal/milp"
+	"dart/internal/obs"
 	"dart/internal/relational"
 )
 
@@ -239,93 +240,120 @@ func (s *Session) Run() (*Outcome, error) {
 
 	for out.Iterations < maxIters {
 		out.Iterations++
-		start := time.Now()
-		var res *core.Result
-		var err error
-		if s.DisablePreparedReuse {
-			res, err = core.FindRepairCtx(ctx, s.Solver, s.DB, s.Constraints, out.Forced)
-		} else {
-			res, err = s.Solver.SolveProblem(ctx, prob, out.Forced)
-		}
-		s.observe("resolve", start)
+		done, res, err := s.iterate(ctx, prob, out, validated, occOf)
 		if err != nil {
 			return nil, err
 		}
-		out.SolverNodes += res.Nodes
-		if res.Status != milp.StatusOptimal {
-			return nil, fmt.Errorf("validate: repair computation ended with status %v", res.Status)
-		}
-		// Pending updates, ordered by descending constraint participation
-		// (Section 6.3's display order), ties broken by item order.
-		var pending []core.Update
-		var reliableItems map[core.Item]float64
-		if s.AutoAcceptReliable {
-			opts := core.EnumerateOptions{Forced: out.Forced}
-			var rel []core.Reliability
-			if s.DisablePreparedReuse {
-				rel, err = core.ReliableValues(s.DB, s.Constraints, opts)
-			} else {
-				rel, err = prob.ReliableValues(opts)
-			}
-			if err != nil {
-				return nil, err
-			}
-			reliableItems = map[core.Item]float64{}
-			for _, r := range rel {
-				if r.Reliable {
-					reliableItems[r.Item] = r.Values[0]
-				}
-			}
-		}
-		for _, u := range res.Repair.Updates {
-			if validated[u.Item] {
-				continue
-			}
-			if v, ok := reliableItems[u.Item]; ok && v == u.New.AsFloat() {
-				// The update is forced by every card-minimal repair: accept
-				// it without bothering the operator.
-				validated[u.Item] = true
-				out.Forced[u.Item] = v
-				out.AutoAccepted++
-				continue
-			}
-			pending = append(pending, u)
-		}
-		sort.SliceStable(pending, func(i, j int) bool {
-			oi, oj := occOf(pending[i].Item), occOf(pending[j].Item)
-			return oi > oj
-		})
-		if len(pending) == 0 {
-			// Every update of the proposed repair has been validated: the
-			// repair is accepted.
-			return s.finish(out, prob, statsBefore, res)
-		}
-		review := len(pending)
-		if s.ReviewPerIteration > 0 && s.ReviewPerIteration < review {
-			review = s.ReviewPerIteration
-		}
-		allAccepted := true
-		for _, u := range pending[:review] {
-			d, err := s.Operator.Review(u)
-			if err != nil {
-				return nil, fmt.Errorf("validate: operator review: %w", err)
-			}
-			out.Examined++
-			validated[u.Item] = true
-			if d.Accepted {
-				out.Accepted++
-				out.Forced[u.Item] = u.New.AsFloat()
-			} else {
-				out.Rejected++
-				allAccepted = false
-				out.Forced[u.Item] = d.ActualValue
-			}
-		}
-		if allAccepted && review == len(pending) {
+		if done {
 			return s.finish(out, prob, statsBefore, res)
 		}
 	}
 	return nil, fmt.Errorf("validate: no accepted repair within %d iterations", maxIters)
+}
+
+// iterate runs one solve-review round of the loop. It reports done=true when
+// every update of the proposed repair has been validated (the repair is
+// accepted, res carries it). When tracing is active each round becomes one
+// "validate.iteration" span — carrying the solve beneath it plus counters for
+// the round's accepted/rejected/auto-accepted decisions — so a deferred End
+// covers every exit path of the round uniformly.
+func (s *Session) iterate(ctx context.Context, prob *core.Problem, out *Outcome, validated map[core.Item]bool, occOf func(core.Item) int) (done bool, res *core.Result, err error) {
+	if span := obs.FromContext(ctx).StartChild("validate.iteration"); span != nil {
+		span.SetInt("iteration", out.Iterations)
+		ctx = obs.ContextWithSpan(ctx, span)
+		accepted, rejected, auto := out.Accepted, out.Rejected, out.AutoAccepted
+		defer func() {
+			span.SetInt("accepted", out.Accepted-accepted)
+			span.SetInt("rejected", out.Rejected-rejected)
+			span.SetInt("auto_accepted", out.AutoAccepted-auto)
+			if err != nil {
+				span.SetStr("error", err.Error())
+			}
+			span.End()
+		}()
+	}
+	start := time.Now()
+	if s.DisablePreparedReuse {
+		res, err = core.FindRepairCtx(ctx, s.Solver, s.DB, s.Constraints, out.Forced)
+	} else {
+		res, err = s.Solver.SolveProblem(ctx, prob, out.Forced)
+	}
+	s.observe("resolve", start)
+	if err != nil {
+		return false, nil, err
+	}
+	out.SolverNodes += res.Nodes
+	if res.Status != milp.StatusOptimal {
+		return false, nil, fmt.Errorf("validate: repair computation ended with status %v", res.Status)
+	}
+	// Pending updates, ordered by descending constraint participation
+	// (Section 6.3's display order), ties broken by item order.
+	var pending []core.Update
+	var reliableItems map[core.Item]float64
+	if s.AutoAcceptReliable {
+		opts := core.EnumerateOptions{Forced: out.Forced}
+		var rel []core.Reliability
+		if s.DisablePreparedReuse {
+			rel, err = core.ReliableValues(s.DB, s.Constraints, opts)
+		} else {
+			rel, err = prob.ReliableValues(opts)
+		}
+		if err != nil {
+			return false, nil, err
+		}
+		reliableItems = map[core.Item]float64{}
+		for _, r := range rel {
+			if r.Reliable {
+				reliableItems[r.Item] = r.Values[0]
+			}
+		}
+	}
+	for _, u := range res.Repair.Updates {
+		if validated[u.Item] {
+			continue
+		}
+		if v, ok := reliableItems[u.Item]; ok && v == u.New.AsFloat() {
+			// The update is forced by every card-minimal repair: accept
+			// it without bothering the operator.
+			validated[u.Item] = true
+			out.Forced[u.Item] = v
+			out.AutoAccepted++
+			continue
+		}
+		pending = append(pending, u)
+	}
+	sort.SliceStable(pending, func(i, j int) bool {
+		oi, oj := occOf(pending[i].Item), occOf(pending[j].Item)
+		return oi > oj
+	})
+	if len(pending) == 0 {
+		// Every update of the proposed repair has been validated: the
+		// repair is accepted.
+		return true, res, nil
+	}
+	review := len(pending)
+	if s.ReviewPerIteration > 0 && s.ReviewPerIteration < review {
+		review = s.ReviewPerIteration
+	}
+	allAccepted := true
+	for _, u := range pending[:review] {
+		d, rerr := s.Operator.Review(u)
+		if rerr != nil {
+			err = fmt.Errorf("validate: operator review: %w", rerr)
+			return false, nil, err
+		}
+		out.Examined++
+		validated[u.Item] = true
+		if d.Accepted {
+			out.Accepted++
+			out.Forced[u.Item] = u.New.AsFloat()
+		} else {
+			out.Rejected++
+			allAccepted = false
+			out.Forced[u.Item] = d.ActualValue
+		}
+	}
+	return allAccepted && review == len(pending), res, nil
 }
 
 // finish verifies the accepted repair and closes the outcome's counters.
