@@ -25,6 +25,7 @@ import (
 	"dart/internal/experiments"
 	"dart/internal/milp"
 	"dart/internal/runningex"
+	"dart/internal/store"
 )
 
 func main() {
@@ -129,12 +130,71 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	}
+	walRecord := func(i int) *store.Record {
+		return &store.Record{
+			Type:     store.RecTransition,
+			UnixNano: int64(1754600000000000000 + i),
+			JobID:    fmt.Sprintf("job-%06d", i),
+			State:    "running",
+			Attempts: 1,
+			TraceID:  "0123456789abcdef",
+			Blob:     []byte(`{"repair":{"card":1}}`),
+		}
+	}
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
 	}{
 		{"MILPSolveSeq", milpBench(1)},
 		{"MILPSolvePar4", milpBench(4)},
+		{"WALAppend", func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "dartbench-wal")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			w, err := store.OpenWAL(dir, store.WALOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Append(walRecord(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"WALReplay", func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "dartbench-wal")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			w, err := store.OpenWAL(dir, store.WALOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			const frames = 1000
+			for i := 0; i < frames; i++ {
+				if _, err := w.Append(walRecord(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if _, err := w.Replay(func(*store.Record) error { n++; return nil }); err != nil {
+					b.Fatal(err)
+				}
+				if n != frames {
+					b.Fatalf("replayed %d frames, want %d", n, frames)
+				}
+			}
+		}},
 		{"RepairRunningExample", func(b *testing.B) {
 			b.ReportAllocs()
 			cons := runningex.Constraints()

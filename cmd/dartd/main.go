@@ -7,7 +7,15 @@
 //	dartd [-addr :8080] [-workers N] [-queue 1024]
 //	      [-job-timeout 60s] [-attempts 3] [-drain-timeout 30s]
 //	      [-result-cache 256] [-trace-buffer 256] [-trace-export t.jsonl]
+//	      [-store-dir /var/lib/dartd] [-store fsync|async] [-store-snapshot-every 256]
 //	      [-pprof] [-log text|json]
+//
+// With -store-dir, every job state transition is persisted to a
+// write-ahead log in that directory. On restart dartd replays the log:
+// jobs that were pending or running when the process died are re-run,
+// completed results are served without re-solving. -store picks the
+// durability mode (fsync syncs every append; async leaves flushing to the
+// OS and the graceful drain).
 //
 // API:
 //
@@ -37,6 +45,7 @@ import (
 
 	"dart/internal/obs"
 	"dart/internal/service"
+	"dart/internal/store"
 )
 
 func main() {
@@ -60,6 +69,9 @@ func run() error {
 		traceExport  = flag.String("trace-export", "", "append every finished trace to this JSONL file (one span per line)")
 		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logFormat    = flag.String("log", "text", "structured log format: text or json")
+		storeDir     = flag.String("store-dir", "", "persist jobs to a write-ahead log in this directory and replay it on boot; empty keeps jobs in memory only")
+		storeMode    = flag.String("store", "fsync", "store durability: fsync (sync every append) or async (OS-buffered; flushed on drain)")
+		storeSnap    = flag.Int("store-snapshot-every", 256, "absorb the log into a snapshot after this many appends; negative disables automatic snapshots")
 	)
 	flag.Parse()
 
@@ -84,17 +96,35 @@ func run() error {
 		tracer = obs.New(cfg)
 	}
 
-	srv := service.New(service.Config{
-		Workers:         *workers,
-		SolverWorkers:   *solverWork,
-		QueueCapacity:   *queueCap,
-		JobTimeout:      *jobTimeout,
-		MaxAttempts:     *attempts,
-		ResultCacheSize: *resultCache,
-		Tracer:          tracer,
-		Logger:          logger,
-		EnablePprof:     *enablePprof,
+	var jobStore store.JobStore
+	if *storeDir != "" {
+		if *storeMode != "fsync" && *storeMode != "async" {
+			return fmt.Errorf("-store must be fsync or async, got %q", *storeMode)
+		}
+		wal, err := store.OpenWAL(*storeDir, store.WALOptions{SyncEveryAppend: *storeMode == "fsync"})
+		if err != nil {
+			return fmt.Errorf("opening job store: %w", err)
+		}
+		defer wal.Close()
+		jobStore = wal
+	}
+
+	srv, err := service.New(service.Config{
+		Workers:            *workers,
+		SolverWorkers:      *solverWork,
+		QueueCapacity:      *queueCap,
+		JobTimeout:         *jobTimeout,
+		MaxAttempts:        *attempts,
+		ResultCacheSize:    *resultCache,
+		Tracer:             tracer,
+		Logger:             logger,
+		EnablePprof:        *enablePprof,
+		Store:              jobStore,
+		StoreSnapshotEvery: *storeSnap,
 	})
+	if err != nil {
+		return fmt.Errorf("recovering job store: %w", err)
+	}
 	srv.Start()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

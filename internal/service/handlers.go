@@ -105,13 +105,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, view)
 }
 
-// handleList returns every job, results omitted.
+// handleList returns jobs in submission order, results omitted.
+// Query parameters:
+//
+//	state   keep only jobs in this lifecycle state
+//	limit   page size (0 or absent returns everything)
+//	cursor  resume after this job ID (the next_cursor of the prior page)
+//
+// The response carries next_cursor whenever more matching jobs remain.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.queue.List()
-	writeJSON(w, http.StatusOK, map[string]any{
+	params := r.URL.Query()
+	state := JobState(params.Get("state"))
+	if state != "" && !knownState(state) {
+		writeError(w, http.StatusBadRequest, "unknown state %q (want one of %v)", string(state), JobStates)
+		return
+	}
+	limit := 0
+	if q := params.Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", q)
+			return
+		}
+		limit = v
+	}
+	jobs, next, err := s.queue.ListPage(state, params.Get("cursor"), limit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := map[string]any{
 		"jobs":  jobs,
 		"count": len(jobs),
-	})
+	}
+	if next != "" {
+		resp["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// knownState reports whether s is one of the lifecycle states.
+func knownState(s JobState) bool {
+	for _, st := range JobStates {
+		if st == s {
+			return true
+		}
+	}
+	return false
 }
 
 // handleGet returns one job with its result.

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"dart/internal/store"
 )
 
 // Version identifies the build in dart_build_info; release builds override
@@ -95,6 +97,11 @@ type Metrics struct {
 	cacheMisses    uint64
 	queueDepth     func() int
 	workerCount    int
+	storeStats     func() store.Stats
+	storeErrors    uint64
+	recRequeued    uint64
+	recCompleted   uint64
+	recDropped     uint64
 
 	// Runtime sampling hooks, overridden by the golden exposition test so
 	// /metrics output is reproducible; production uses the defaults.
@@ -243,6 +250,33 @@ func (m *Metrics) Bind(queueDepth func() int, workers, bbWorkers int) {
 	m.bbWorkers = bbWorkers
 }
 
+// BindStore attaches the job store's stats sampler; the dart_store_*
+// families are exposed only once a store is bound, so storeless servers
+// keep their exposition unchanged.
+func (m *Metrics) BindStore(stats func() store.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.storeStats = stats
+}
+
+// StoreError counts one non-fatal job store append failure.
+func (m *Metrics) StoreError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.storeErrors++
+}
+
+// Recovered records the boot-time replay outcome: jobs re-enqueued, jobs
+// restored terminal with results, and jobs dropped for lack of queue
+// capacity.
+func (m *Metrics) Recovered(requeued, completed, dropped int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recRequeued = uint64(requeued)
+	m.recCompleted = uint64(completed)
+	m.recDropped = uint64(dropped)
+}
+
 // Snapshot returns the submitted and per-terminal-state finished counters;
 // tests use it to cross-check /metrics against job store contents.
 func (m *Metrics) Snapshot() (submitted uint64, finished map[JobState]uint64) {
@@ -325,6 +359,52 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP dartd_result_cache_misses_total Jobs that ran the pipeline (result cache miss or cache disabled).")
 	fmt.Fprintln(w, "# TYPE dartd_result_cache_misses_total counter")
 	fmt.Fprintf(w, "dartd_result_cache_misses_total %d\n", m.cacheMisses)
+
+	if m.storeStats != nil {
+		st := m.storeStats()
+
+		fmt.Fprintln(w, "# HELP dart_store_appends_total Records appended to the job store.")
+		fmt.Fprintln(w, "# TYPE dart_store_appends_total counter")
+		fmt.Fprintf(w, "dart_store_appends_total %d\n", st.Appends)
+
+		fmt.Fprintln(w, "# HELP dart_store_append_bytes_total Frame bytes appended to the job store.")
+		fmt.Fprintln(w, "# TYPE dart_store_append_bytes_total counter")
+		fmt.Fprintf(w, "dart_store_append_bytes_total %d\n", st.AppendBytes)
+
+		fmt.Fprintln(w, "# HELP dart_store_append_errors_total Job store appends that failed (jobs still completed in memory).")
+		fmt.Fprintln(w, "# TYPE dart_store_append_errors_total counter")
+		fmt.Fprintf(w, "dart_store_append_errors_total %d\n", m.storeErrors)
+
+		fmt.Fprintln(w, "# HELP dart_store_fsyncs_total fsync calls issued by the job store.")
+		fmt.Fprintln(w, "# TYPE dart_store_fsyncs_total counter")
+		fmt.Fprintf(w, "dart_store_fsyncs_total %d\n", st.Fsyncs)
+
+		fmt.Fprintln(w, "# HELP dart_store_snapshots_total Snapshots written (each absorbs and truncates the log).")
+		fmt.Fprintln(w, "# TYPE dart_store_snapshots_total counter")
+		fmt.Fprintf(w, "dart_store_snapshots_total %d\n", st.Snapshots)
+
+		fmt.Fprintln(w, "# HELP dart_store_wal_bytes Current size of the write-ahead log.")
+		fmt.Fprintln(w, "# TYPE dart_store_wal_bytes gauge")
+		fmt.Fprintf(w, "dart_store_wal_bytes %d\n", st.WALBytes)
+
+		fmt.Fprintln(w, "# HELP dart_store_snapshot_bytes Size of the current snapshot blob.")
+		fmt.Fprintln(w, "# TYPE dart_store_snapshot_bytes gauge")
+		fmt.Fprintf(w, "dart_store_snapshot_bytes %d\n", st.SnapshotBytes)
+
+		fmt.Fprintln(w, "# HELP dart_store_replay_seconds Wall-clock time of the last store replay.")
+		fmt.Fprintln(w, "# TYPE dart_store_replay_seconds gauge")
+		fmt.Fprintf(w, "dart_store_replay_seconds %g\n", st.ReplaySeconds)
+
+		fmt.Fprintln(w, "# HELP dart_store_replay_records Records delivered by the last store replay.")
+		fmt.Fprintln(w, "# TYPE dart_store_replay_records gauge")
+		fmt.Fprintf(w, "dart_store_replay_records %d\n", st.ReplayRecords)
+
+		fmt.Fprintln(w, "# HELP dart_store_recovered_jobs Jobs recovered at boot, by outcome.")
+		fmt.Fprintln(w, "# TYPE dart_store_recovered_jobs gauge")
+		fmt.Fprintf(w, "dart_store_recovered_jobs{kind=\"requeued\"} %d\n", m.recRequeued)
+		fmt.Fprintf(w, "dart_store_recovered_jobs{kind=\"completed\"} %d\n", m.recCompleted)
+		fmt.Fprintf(w, "dart_store_recovered_jobs{kind=\"dropped\"} %d\n", m.recDropped)
+	}
 
 	if m.queueDepth != nil {
 		fmt.Fprintln(w, "# HELP dartd_queue_depth Jobs waiting for a worker.")

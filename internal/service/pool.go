@@ -120,10 +120,18 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		p.cancel()
+		// Workers are gone; flush the job store so a clean drain never
+		// depends on replaying unsynced frames after the next boot.
+		if err := p.Queue.SyncStore(); err != nil {
+			return fmt.Errorf("service: syncing job store on drain: %w", err)
+		}
 		return nil
 	case <-ctx.Done():
 		p.cancel() // abort in-flight solves
 		<-done
+		if err := p.Queue.SyncStore(); err != nil {
+			return errors.Join(ctx.Err(), err)
+		}
 		return ctx.Err()
 	}
 }
@@ -209,6 +217,12 @@ func (p *Pool) runJob(job *Job) {
 		span.SetStr("error", err.Error())
 	}
 	span.End()
+	if span != nil && p.Tracer != nil {
+		// Audit frame correlating the durable history with trace output.
+		if tr, ok := p.Tracer.Trace(span.TraceID()); ok {
+			p.Queue.noteSpansFlushed(job, span.TraceID(), len(tr.Spans))
+		}
+	}
 	if p.Logger != nil {
 		l := p.Logger.With("job_id", job.ID, "state", string(state),
 			"attempts", attempts, "duration_ms", time.Since(start).Milliseconds())

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dart/internal/store"
 )
 
 // JobState is the lifecycle state of one submitted job.
@@ -100,6 +102,15 @@ type Queue struct {
 	ch     chan *Job
 	closed bool
 	nextID int
+	// store, when non-nil, receives one record per queue mutation; all
+	// appends happen under mu, so the store sees a serialized history.
+	store store.JobStore
+	// snapshotEvery bounds log growth: a snapshot absorbs the log after
+	// this many appends (0 disables automatic snapshots).
+	snapshotEvery int
+	// onStoreError observes non-fatal persistence failures; it runs under
+	// mu and must not call back into the queue.
+	onStoreError func(error)
 }
 
 // NewQueue creates a queue holding at most capacity pending jobs
@@ -122,6 +133,12 @@ func (q *Queue) Submit(spec JobSpec) (JobView, error) {
 	if q.closed {
 		return JobView{}, ErrDraining
 	}
+	// Capacity check before the durable append: every sender holds mu and
+	// workers only drain, so len < cap guarantees the later send cannot
+	// block. The job must be durable before it is visible anywhere.
+	if len(q.ch) == cap(q.ch) {
+		return JobView{}, ErrQueueFull
+	}
 	q.nextID++
 	job := &Job{
 		ID:          fmt.Sprintf("job-%06d", q.nextID),
@@ -129,12 +146,11 @@ func (q *Queue) Submit(spec JobSpec) (JobView, error) {
 		State:       StateQueued,
 		SubmittedAt: time.Now(),
 	}
-	select {
-	case q.ch <- job:
-	default:
+	if err := q.appendSubmitLocked(job); err != nil {
 		q.nextID--
-		return JobView{}, ErrQueueFull
+		return JobView{}, fmt.Errorf("service: persisting submission: %w", err)
 	}
+	q.ch <- job
 	q.jobs[job.ID] = job
 	q.order = append(q.order, job.ID)
 	return viewLocked(job, false), nil
@@ -161,6 +177,47 @@ func (q *Queue) List() []JobView {
 		out = append(out, viewLocked(q.jobs[id], false))
 	}
 	return out
+}
+
+// ErrBadCursor rejects a pagination cursor naming an unknown job.
+var ErrBadCursor = errors.New("service: unknown pagination cursor")
+
+// ListPage returns up to limit job snapshots in submission order,
+// starting after the job named by cursor ("" starts from the beginning)
+// and keeping only jobs in the given state ("" keeps all). next is the
+// cursor for the following page, or "" when this page reaches the end.
+// A limit of 0 or less returns every matching job. State filtering is a
+// point-in-time view: a job may change state between pages.
+func (q *Queue) ListPage(state JobState, cursor string, limit int) (page []JobView, next string, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	start := 0
+	if cursor != "" {
+		if _, ok := q.jobs[cursor]; !ok {
+			return nil, "", ErrBadCursor
+		}
+		for i, id := range q.order {
+			if id == cursor {
+				start = i + 1
+				break
+			}
+		}
+	}
+	page = []JobView{}
+	for i := start; i < len(q.order); i++ {
+		job := q.jobs[q.order[i]]
+		if state != "" && job.State != state {
+			continue
+		}
+		if limit > 0 && len(page) == limit {
+			// One more match exists beyond the full page, so the page's
+			// last job becomes the resume point.
+			next = page[len(page)-1].ID
+			break
+		}
+		page = append(page, viewLocked(job, false))
+	}
+	return page, next, nil
 }
 
 // Depth returns the number of jobs waiting for a worker.
@@ -198,12 +255,14 @@ func (q *Queue) Close() {
 func (q *Queue) setRunning(job *Job) (wait time.Duration, first bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	now := time.Now()
 	if job.State == StateQueued && job.StartedAt.IsZero() {
-		job.StartedAt = time.Now()
+		job.StartedAt = now
 		wait, first = job.StartedAt.Sub(job.SubmittedAt), true
 	}
 	job.State = StateRunning
 	job.Attempts++
+	q.appendTransitionLocked(job, now)
 	return wait, first
 }
 
@@ -215,7 +274,9 @@ func (q *Queue) setTrace(job *Job, traceID string) {
 	job.TraceID = traceID
 }
 
-// finish records a job's terminal state.
+// finish records a job's terminal state. The result record is appended
+// before the terminal transition: a crash between the two leaves the job
+// non-terminal so recovery re-runs it instead of trusting partial state.
 func (q *Queue) finish(job *Job, state JobState, result *ResultJSON, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -225,6 +286,17 @@ func (q *Queue) finish(job *Job, state JobState, result *ResultJSON, err error) 
 	if err != nil {
 		job.Error = err.Error()
 	}
+	q.appendResultLocked(job)
+	q.appendTransitionLocked(job, job.FinishedAt)
+}
+
+// detachStore severs the queue from its store without syncing, leaving
+// the on-disk state exactly as a process crash would. Test-only: the
+// crash-recovery test uses it to simulate kill -9 in-process.
+func (q *Queue) detachStore() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.store = nil
 }
 
 // viewLocked snapshots a job; the caller holds q.mu.

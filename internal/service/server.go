@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dart/internal/obs"
+	"dart/internal/store"
 )
 
 // Config tunes a Server. The zero value gets sensible defaults: GOMAXPROCS
@@ -42,6 +43,15 @@ type Config struct {
 	Logger *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Store, when non-nil, persists every job state transition and is
+	// replayed at construction: jobs pending or running at crash time are
+	// re-enqueued, completed results are served without re-solving. Nil
+	// keeps the queue memory-only.
+	Store store.JobStore
+	// StoreSnapshotEvery bounds log growth: after this many appends a
+	// snapshot absorbs and truncates the log (0 = 256, negative disables
+	// automatic snapshots). Ignored without Store.
+	StoreSnapshotEvery int
 }
 
 // Server is the dartd service: queue + pool + metrics behind an HTTP API.
@@ -63,17 +73,58 @@ type Server struct {
 	enablePprof bool
 	mux         *http.ServeMux
 	draining    atomic.Bool
+	recovery    *RecoveryStats
 }
 
-// New wires a stopped server; call Start before serving.
-func New(cfg Config) *Server {
+// New wires a stopped server; call Start before serving. With a
+// configured store it replays the durable history first, so New fails if
+// the store cannot be read.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
-		queue:       NewQueue(cfg.QueueCapacity),
 		metrics:     NewMetrics(),
 		tracer:      cfg.Tracer,
 		logger:      cfg.Logger,
 		enablePprof: cfg.EnablePprof,
 		mux:         http.NewServeMux(),
+	}
+	if cfg.Store == nil {
+		s.queue = NewQueue(cfg.QueueCapacity)
+	} else {
+		snapEvery := cfg.StoreSnapshotEvery
+		if snapEvery == 0 {
+			snapEvery = 256
+		}
+		onStoreError := func(err error) {
+			s.metrics.StoreError()
+			if s.logger != nil {
+				s.logger.Error("job store append failed", "error", err.Error())
+			}
+		}
+		span := cfg.Tracer.StartTrace("store.replay")
+		queue, rs, err := RecoverQueue(cfg.QueueCapacity, cfg.Store, snapEvery, onStoreError)
+		if err != nil {
+			if span != nil {
+				span.SetStr("error", err.Error())
+				span.End()
+			}
+			return nil, err
+		}
+		span.SetInt("records", rs.Records)
+		span.SetInt("snapshot_jobs", rs.SnapshotJobs)
+		span.SetInt("requeued", rs.Requeued)
+		span.SetInt("completed", rs.Completed)
+		span.End()
+		s.queue = queue
+		s.recovery = rs
+		s.metrics.BindStore(cfg.Store.Stats)
+		s.metrics.Recovered(rs.Requeued, rs.Completed, rs.Dropped)
+		if cfg.Logger != nil {
+			cfg.Logger.Info("job store recovered",
+				"records", rs.Records, "snapshot_jobs", rs.SnapshotJobs,
+				"requeued", rs.Requeued, "completed", rs.Completed,
+				"dropped", rs.Dropped, "orphans", rs.Orphans,
+				"duration_ms", rs.Duration.Milliseconds())
+		}
 	}
 	run := cfg.Runner
 	if run == nil {
@@ -99,7 +150,7 @@ func New(cfg Config) *Server {
 	}
 	s.metrics.Bind(s.queue.Depth, s.pool.workerCount(), bb)
 	s.routes()
-	return s
+	return s, nil
 }
 
 // Start launches the worker pool.
@@ -116,6 +167,9 @@ func (s *Server) Queue() *Queue { return s.queue }
 
 // Tracer exposes the span recorder, nil when tracing is off (tests).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Recovery reports the boot-time store replay, nil without a store.
+func (s *Server) Recovery() *RecoveryStats { return s.recovery }
 
 // Shutdown drains gracefully: new submissions get 503 immediately, queued
 // and in-flight jobs finish, workers exit. If ctx expires first, in-flight

@@ -28,7 +28,10 @@ func runningExampleErrorHTML() string {
 // newTestServer starts a service plus an httptest front end.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv.Start()
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {

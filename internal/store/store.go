@@ -1,0 +1,132 @@
+// Package store is dartd's durable job store: everything the in-memory
+// queue knows — submitted specs, state transitions, terminal results,
+// span-flush markers — is persisted as an append-only sequence of records
+// so a restarted server can replay its way back to the exact pre-crash
+// state.
+//
+// The flagship backend is a file-backed write-ahead log (WAL): records are
+// uvarint-length-prefixed binary frames, each carrying a CRC32, appended
+// to jobs.wal; a fixed-stride offset index (jobs.idx, 8 bytes per frame)
+// makes point lookup a single seek; periodic snapshots plus log truncation
+// bound disk usage. Recovery is one sequential replay: snapshot first,
+// then every frame with a sequence number past the snapshot. A torn tail
+// (partial final frame from a crash mid-write) is detected by the length
+// and CRC checks and cleanly truncated — replay never errors on it.
+//
+// A second, in-memory backend (Mem) implements the same interface,
+// mirroring the pre-persistence behavior of the service; differential
+// tests drive both backends with identical record sequences and assert
+// identical replays.
+package store
+
+import "time"
+
+// RecordType tags one WAL frame.
+type RecordType uint8
+
+const (
+	// RecSubmit records a newly accepted job: JobID, submission time, and
+	// the job spec JSON in Blob.
+	RecSubmit RecordType = iota + 1
+	// RecTransition records a job state change: State, Attempts, the
+	// transition time, and (entering running) the TraceID. Terminal
+	// transitions carry the error text.
+	RecTransition
+	// RecResult records a terminal result: the wire-form result JSON in
+	// Blob. It is appended before the terminal transition so a crash
+	// between the two re-runs the job instead of serving a half-state.
+	RecResult
+	// RecSpans marks that a job's trace spans were flushed to the span
+	// exporter; Blob carries a small JSON summary. Replay treats it as an
+	// audit-only frame.
+	RecSpans
+)
+
+// String names the record type for logs and tests.
+func (t RecordType) String() string {
+	switch t {
+	case RecSubmit:
+		return "submit"
+	case RecTransition:
+		return "transition"
+	case RecResult:
+		return "result"
+	case RecSpans:
+		return "spans"
+	default:
+		return "unknown"
+	}
+}
+
+// Record is one durable job event. Seq is assigned by the store on append,
+// strictly increasing across the store's lifetime (snapshots remember the
+// last sequence they cover, so replay skips frames a snapshot already
+// absorbed). UnixNano is the event time with full nanosecond fidelity —
+// replayed timestamps must be byte-identical to the originals when
+// re-encoded as JSON.
+type Record struct {
+	Type     RecordType
+	Seq      uint64
+	UnixNano int64
+	JobID    string
+	State    string
+	Attempts int
+	TraceID  string
+	Error    string
+	Blob     []byte
+}
+
+// Time converts the record's event time back to a wall-clock time.
+func (r *Record) Time() time.Time { return time.Unix(0, r.UnixNano) }
+
+// Stats is a point-in-time snapshot of a store's counters; the service
+// exposes them as dart_store_* metrics.
+type Stats struct {
+	// Appends counts records appended over the store's lifetime.
+	Appends uint64
+	// AppendBytes counts frame bytes written by appends.
+	AppendBytes uint64
+	// Fsyncs counts explicit flushes to stable storage.
+	Fsyncs uint64
+	// Snapshots counts snapshot+truncate cycles.
+	Snapshots uint64
+	// WALBytes is the current size of the live log.
+	WALBytes int64
+	// SnapshotBytes is the size of the current snapshot (0 when none).
+	SnapshotBytes int64
+	// ReplaySeconds is the duration of the last Replay call.
+	ReplaySeconds float64
+	// ReplayRecords counts records delivered by the last Replay call.
+	ReplayRecords uint64
+}
+
+// JobStore is the pluggable persistence interface the service writes
+// through. Implementations must be safe for concurrent use.
+//
+// The contract: Append durably adds one record and returns its assigned
+// sequence number. Replay delivers the current snapshot blob (nil when
+// none) and then every live record in append order; the callback must not
+// call back into the store. WriteSnapshot atomically replaces the
+// snapshot with state (a caller-defined serialization of everything the
+// log expresses) and truncates the absorbed log prefix.
+type JobStore interface {
+	// Append persists one record and returns its sequence number.
+	Append(rec *Record) (uint64, error)
+	// Replay returns the snapshot blob and streams every record appended
+	// after it, in order.
+	Replay(fn func(*Record) error) ([]byte, error)
+	// WriteSnapshot replaces the snapshot with state and truncates the
+	// log records it absorbs.
+	WriteSnapshot(state []byte) error
+	// AppendsSinceSnapshot reports log records not yet absorbed by a
+	// snapshot; callers use it to schedule WriteSnapshot.
+	AppendsSinceSnapshot() int
+	// Sync flushes buffered frames to stable storage (graceful drain
+	// calls it so a clean shutdown never depends on replaying unsynced
+	// frames).
+	Sync() error
+	// Stats returns the store's counters.
+	Stats() Stats
+	// Close releases resources; the store is unusable afterwards.
+	Close() error
+}

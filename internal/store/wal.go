@@ -1,0 +1,405 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// File names inside a WAL directory.
+const (
+	walName     = "jobs.wal"     // uvarint-length-prefixed CRC32 frames
+	idxName     = "jobs.idx"     // fixed-stride frame offsets, 8 bytes LE each
+	snapName    = "snapshot.bin" // seq(8 LE) | crc32(blob)(4 LE) | blob
+	snapTmpName = "snapshot.tmp"
+)
+
+// idxStride is the fixed width of one index entry: the little-endian byte
+// offset of frame i in jobs.wal lives at i*idxStride in jobs.idx, so point
+// lookup is one seek into the index and one seek into the log.
+const idxStride = 8
+
+// WALOptions tunes a write-ahead-log store.
+type WALOptions struct {
+	// SyncEveryAppend fsyncs the log after every append (the -store fsync
+	// mode). When false (async), frames reach the OS immediately but
+	// stable storage only on Sync, snapshot, and Close.
+	SyncEveryAppend bool
+}
+
+// WAL is the file-backed JobStore: an append-only frame log plus a
+// fixed-stride offset index and an atomically replaced snapshot. All
+// fields are guarded by mu.
+type WAL struct {
+	mu         sync.Mutex
+	dir        string
+	fsyncEvery bool
+
+	wal     *os.File
+	idx     *os.File
+	tail    int64   // next append offset in jobs.wal
+	offsets []int64 // frame start offsets, mirror of jobs.idx
+	nextSeq uint64
+
+	snapSeq   uint64 // last sequence the snapshot absorbs (0 = none)
+	snapBlob  []byte
+	sinceSnap int
+
+	appends       uint64
+	appendBytes   uint64
+	fsyncs        uint64
+	snapshots     uint64
+	replaySeconds float64
+	replayRecords uint64
+
+	buf []byte // reusable frame-encoding buffer
+}
+
+// OpenWAL opens (creating if needed) the WAL store rooted at dir. Opening
+// validates the log tail: a torn final frame — truncated mid-write by a
+// crash — is detected by its length prefix or CRC and cut off, and the
+// offset index is rebuilt whenever it disagrees with the log.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	w := &WAL{dir: dir, fsyncEvery: opts.SyncEveryAppend, nextSeq: 1}
+	if err := w.loadSnapshotLocked(); err != nil {
+		return nil, err
+	}
+	var err error
+	w.wal, err = os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", walName, err)
+	}
+	w.idx, err = os.OpenFile(filepath.Join(dir, idxName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		w.wal.Close()
+		return nil, fmt.Errorf("store: opening %s: %w", idxName, err)
+	}
+	if err := w.recoverTailLocked(); err != nil {
+		w.wal.Close()
+		w.idx.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// loadSnapshotLocked runs during open, before the WAL is shared: it
+// reads snapshot.bin if present and structurally valid. A corrupt
+// snapshot (torn rename never happens — writes go through a tmp file —
+// but disks lie) is ignored rather than fatal: the log may still hold a
+// usable suffix.
+func (w *WAL) loadSnapshotLocked() error {
+	raw, err := os.ReadFile(filepath.Join(w.dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	if len(raw) < 12 {
+		return nil // torn or empty snapshot: ignore
+	}
+	seq := binary.LittleEndian.Uint64(raw[:8])
+	want := binary.LittleEndian.Uint32(raw[8:12])
+	blob := raw[12:]
+	if crc32.ChecksumIEEE(blob) != want {
+		return nil // corrupt snapshot: ignore
+	}
+	w.snapSeq = seq
+	w.snapBlob = blob
+	if seq >= w.nextSeq {
+		w.nextSeq = seq + 1
+	}
+	return nil
+}
+
+// recoverTailLocked scans the log sequentially, records every valid
+// frame offset, truncates a torn tail, and rewrites the offset index
+// when it disagrees with the scan. Called from OpenWAL before the store
+// is shared, but takes the lock anyway so the helpers below stay *Locked.
+func (w *WAL) recoverTailLocked() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	data, err := io.ReadAll(w.wal)
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", walName, err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, err := decodeFrame(data[off:])
+		if err != nil {
+			break // torn or corrupt tail: the log ends at the last valid frame
+		}
+		w.offsets = append(w.offsets, int64(off))
+		if rec.Seq >= w.nextSeq {
+			w.nextSeq = rec.Seq + 1
+		}
+		if rec.Seq > w.snapSeq {
+			w.sinceSnap++
+		}
+		off += n
+	}
+	w.tail = int64(off)
+	if off < len(data) {
+		if err := w.wal.Truncate(w.tail); err != nil {
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+	return w.rewriteIdxLocked()
+}
+
+// rewriteIdxLocked makes jobs.idx agree with the in-memory offsets,
+// rewriting it only when the on-disk bytes differ.
+func (w *WAL) rewriteIdxLocked() error {
+	want := make([]byte, 0, len(w.offsets)*idxStride)
+	for _, off := range w.offsets {
+		want = binary.LittleEndian.AppendUint64(want, uint64(off))
+	}
+	if _, err := w.idx.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	have, err := io.ReadAll(w.idx)
+	if err != nil {
+		return fmt.Errorf("store: reading %s: %w", idxName, err)
+	}
+	if string(have) == string(want) {
+		return nil
+	}
+	if err := w.idx.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.idx.WriteAt(want, 0); err != nil {
+		return fmt.Errorf("store: rebuilding %s: %w", idxName, err)
+	}
+	return nil
+}
+
+// Append implements JobStore: it assigns the record's sequence number,
+// writes one frame plus its index entry, and (in fsync mode) flushes the
+// log before returning.
+func (w *WAL) Append(rec *Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.Seq = w.nextSeq
+	w.buf = encodeFrame(w.buf[:0], rec)
+	if _, err := w.wal.WriteAt(w.buf, w.tail); err != nil {
+		return 0, fmt.Errorf("store: appending frame: %w", err)
+	}
+	var entry [idxStride]byte
+	binary.LittleEndian.PutUint64(entry[:], uint64(w.tail))
+	if _, err := w.idx.WriteAt(entry[:], int64(len(w.offsets))*idxStride); err != nil {
+		return 0, fmt.Errorf("store: appending index entry: %w", err)
+	}
+	if w.fsyncEvery {
+		if err := w.wal.Sync(); err != nil {
+			return 0, fmt.Errorf("store: fsync: %w", err)
+		}
+		w.fsyncs++
+	}
+	w.offsets = append(w.offsets, w.tail)
+	w.tail += int64(len(w.buf))
+	w.nextSeq++
+	w.appends++
+	w.appendBytes += uint64(len(w.buf))
+	w.sinceSnap++
+	return rec.Seq, nil
+}
+
+// Replay implements JobStore: one sequential read of the live log,
+// decoding each frame and delivering every record the snapshot does not
+// already absorb. The callback must not call back into the store.
+func (w *WAL) Replay(fn func(*Record) error) ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	start := time.Now()
+	w.replayRecords = 0
+	data := make([]byte, w.tail)
+	if _, err := w.wal.ReadAt(data, 0); err != nil && w.tail > 0 {
+		return nil, fmt.Errorf("store: reading log: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, err := decodeFrame(data[off:])
+		if err != nil {
+			// recoverTailLocked already cut the torn tail; reaching here means
+			// the log was corrupted after open. Stop at the last valid
+			// frame, mirroring open-time behavior.
+			break
+		}
+		off += n
+		if rec.Seq <= w.snapSeq {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return nil, err
+		}
+		w.replayRecords++
+	}
+	w.replaySeconds = time.Since(start).Seconds()
+	if w.snapBlob == nil {
+		return nil, nil
+	}
+	return append([]byte(nil), w.snapBlob...), nil
+}
+
+// WriteSnapshot implements JobStore: state is written to a tmp file,
+// fsynced, atomically renamed over snapshot.bin, and the log prefix it
+// absorbs is truncated. A crash between rename and truncate is safe: the
+// leftover frames carry sequence numbers the snapshot covers, and replay
+// skips them.
+func (w *WAL) WriteSnapshot(state []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seq := w.nextSeq - 1
+	buf := make([]byte, 0, 12+len(state))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(state))
+	buf = append(buf, state...)
+
+	tmp := filepath.Join(w.dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	w.fsyncs++
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapName)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	w.syncDirLocked()
+
+	// The snapshot absorbs every appended frame: truncate the log and
+	// index so disk usage stays bounded by one snapshot plus the records
+	// appended since.
+	if err := w.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating log: %w", err)
+	}
+	if err := w.idx.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating index: %w", err)
+	}
+	w.tail = 0
+	w.offsets = w.offsets[:0]
+	w.snapSeq = seq
+	w.snapBlob = append(w.snapBlob[:0], state...)
+	w.sinceSnap = 0
+	w.snapshots++
+	return nil
+}
+
+// syncDirLocked flushes the directory entry after a rename so the new
+// snapshot name is durable; failure is non-fatal (the old snapshot plus
+// the untruncated log still replay correctly).
+func (w *WAL) syncDirLocked() {
+	d, err := os.Open(w.dir)
+	if err != nil {
+		return
+	}
+	if d.Sync() == nil {
+		w.fsyncs++
+	}
+	d.Close()
+}
+
+// AppendsSinceSnapshot implements JobStore.
+func (w *WAL) AppendsSinceSnapshot() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sinceSnap
+}
+
+// Sync implements JobStore: flush the log and index to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.wal.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	if err := w.idx.Sync(); err != nil {
+		return fmt.Errorf("store: fsync index: %w", err)
+	}
+	w.fsyncs += 2
+	return nil
+}
+
+// Frames reports the number of live frames in the log.
+func (w *WAL) Frames() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.offsets)
+}
+
+// ReadFrame returns frame i via the offset index: one ReadAt into
+// jobs.idx for the offset, one ReadAt into jobs.wal for the frame — the
+// point-lookup path the fixed-stride index exists for.
+func (w *WAL) ReadFrame(i int) (*Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if i < 0 || i >= len(w.offsets) {
+		return nil, fmt.Errorf("store: frame %d out of range [0,%d)", i, len(w.offsets))
+	}
+	var entry [idxStride]byte
+	if _, err := w.idx.ReadAt(entry[:], int64(i)*idxStride); err != nil {
+		return nil, fmt.Errorf("store: index read: %w", err)
+	}
+	start := int64(binary.LittleEndian.Uint64(entry[:]))
+	end := w.tail
+	if i+1 < len(w.offsets) {
+		end = w.offsets[i+1]
+	}
+	buf := make([]byte, end-start)
+	if _, err := w.wal.ReadAt(buf, start); err != nil {
+		return nil, fmt.Errorf("store: frame read: %w", err)
+	}
+	rec, _, err := decodeFrame(buf)
+	return rec, err
+}
+
+// Stats implements JobStore.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Appends:       w.appends,
+		AppendBytes:   w.appendBytes,
+		Fsyncs:        w.fsyncs,
+		Snapshots:     w.snapshots,
+		WALBytes:      w.tail,
+		SnapshotBytes: int64(len(w.snapBlob)),
+		ReplaySeconds: w.replaySeconds,
+		ReplayRecords: w.replayRecords,
+	}
+}
+
+// Close flushes and closes the underlying files.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	errSync := w.wal.Sync()
+	err1 := w.wal.Close()
+	err2 := w.idx.Close()
+	if errSync != nil {
+		return errSync
+	}
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

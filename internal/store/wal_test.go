@@ -1,0 +1,279 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testRecord builds a deterministic record for index i.
+func testRecord(i int) *Record {
+	return &Record{
+		Type:     RecordType(1 + i%4),
+		UnixNano: time.Date(2026, 8, 7, 0, 0, 0, 1234+i, time.UTC).UnixNano(),
+		JobID:    fmt.Sprintf("job-%06d", i+1),
+		State:    "running",
+		Attempts: i % 3,
+		TraceID:  fmt.Sprintf("t%08x", i),
+		Error:    map[bool]string{true: "boom", false: ""}[i%5 == 0],
+		Blob:     []byte(fmt.Sprintf(`{"i":%d}`, i)),
+	}
+}
+
+// appendN appends n deterministic records.
+func appendN(t *testing.T, s JobStore, n int) []*Record {
+	t.Helper()
+	recs := make([]*Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := testRecord(i)
+		if _, err := s.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// replayAll collects every replayed record plus the snapshot blob.
+func replayAll(t *testing.T, s JobStore) ([]byte, []*Record) {
+	t.Helper()
+	var out []*Record
+	snap, err := s.Replay(func(r *Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return snap, out
+}
+
+// TestWALRoundTrip: records written to a WAL replay identically after a
+// reopen, sequence numbers keep increasing, and field fidelity is exact.
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, w, 25)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	snap, got := replayAll(t, w2)
+	if snap != nil {
+		t.Fatalf("unexpected snapshot %q", snap)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("record %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	// Appends continue the sequence, not restart it.
+	rec := testRecord(99)
+	seq, err := w2.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(len(want))+1 {
+		t.Errorf("next seq = %d, want %d", seq, len(want)+1)
+	}
+}
+
+// TestWALPointLookup: the fixed-stride index serves random frame access.
+func TestWALPointLookup(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	want := appendN(t, w, 40)
+	if w.Frames() != 40 {
+		t.Fatalf("frames = %d, want 40", w.Frames())
+	}
+	for _, i := range []int{0, 7, 13, 39} {
+		got, err := w.ReadFrame(i)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("frame %d:\n got %+v\nwant %+v", i, got, want[i])
+		}
+	}
+	if _, err := w.ReadFrame(40); err == nil {
+		t.Error("out-of-range lookup did not error")
+	}
+	// The index is exactly fixed-stride.
+	fi, err := os.Stat(filepath.Join(dir, idxName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 40*idxStride {
+		t.Errorf("index size = %d, want %d", fi.Size(), 40*idxStride)
+	}
+}
+
+// TestWALIndexRebuild: a deleted or mangled index file is rebuilt from the
+// log at open, and lookups still work.
+func TestWALIndexRebuild(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, w, 10)
+	w.Close()
+
+	for name, mangle := range map[string]func(string) error{
+		"deleted": os.Remove,
+		"garbage": func(p string) error { return os.WriteFile(p, []byte("junk"), 0o644) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := mangle(filepath.Join(dir, idxName)); err != nil {
+				t.Fatal(err)
+			}
+			w2, err := OpenWAL(dir, WALOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			got, err := w2.ReadFrame(9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want[9]) {
+				t.Errorf("frame 9 after rebuild = %+v, want %+v", got, want[9])
+			}
+		})
+	}
+}
+
+// TestWALSnapshotTruncation: a snapshot bounds the log — the data file is
+// truncated, replay returns the snapshot plus only post-snapshot records,
+// and all of it survives a reopen.
+func TestWALSnapshotTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 20)
+	state := []byte(`{"jobs":20}`)
+	if err := w.WriteSnapshot(state); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.AppendsSinceSnapshot(); got != 0 {
+		t.Errorf("appends since snapshot = %d, want 0", got)
+	}
+	if fi, _ := os.Stat(filepath.Join(dir, walName)); fi.Size() != 0 {
+		t.Errorf("log size after snapshot = %d, want 0", fi.Size())
+	}
+
+	// Two more records land after the snapshot.
+	post := []*Record{testRecord(100), testRecord(101)}
+	for _, r := range post {
+		if _, err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	w2, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	snap, got := replayAll(t, w2)
+	if !bytes.Equal(snap, state) {
+		t.Errorf("snapshot = %q, want %q", snap, state)
+	}
+	if len(got) != 2 || !reflect.DeepEqual(got[0], post[0]) || !reflect.DeepEqual(got[1], post[1]) {
+		t.Errorf("post-snapshot replay = %+v, want %+v", got, post)
+	}
+	// Sequence numbering continues past the snapshot across reopen.
+	if seq, err := w2.Append(testRecord(5)); err != nil || seq != 23 {
+		t.Errorf("seq after snapshot reopen = %d (%v), want 23", seq, err)
+	}
+	st := w2.Stats()
+	if st.SnapshotBytes != int64(len(state)) {
+		t.Errorf("snapshot bytes = %d, want %d", st.SnapshotBytes, len(state))
+	}
+}
+
+// TestWALStaleFramesSkipped simulates a crash between snapshot rename and
+// log truncation: frames whose sequence the snapshot absorbs must be
+// skipped at replay, not double-applied.
+func TestWALStaleFramesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 5)
+	walRaw, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSnapshot([]byte("S")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Put the absorbed frames back, as if truncate never ran.
+	if err := os.WriteFile(filepath.Join(dir, walName), walRaw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	snap, got := replayAll(t, w2)
+	if string(snap) != "S" {
+		t.Errorf("snapshot = %q", snap)
+	}
+	if len(got) != 0 {
+		t.Errorf("replayed %d stale records, want 0", len(got))
+	}
+}
+
+// TestWALStats: counters move with appends, fsyncs, and snapshots.
+func TestWALStats(t *testing.T) {
+	w, err := OpenWAL(t.TempDir(), WALOptions{SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 3)
+	st := w.Stats()
+	if st.Appends != 3 || st.Fsyncs < 3 || st.WALBytes <= 0 || st.AppendBytes != uint64(st.WALBytes) {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Fsyncs; got < 5 {
+		t.Errorf("fsyncs after Sync = %d, want >= 5", got)
+	}
+	if err := w.WriteSnapshot([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	st = w.Stats()
+	if st.Snapshots != 1 || st.WALBytes != 0 {
+		t.Errorf("post-snapshot stats = %+v", st)
+	}
+}
