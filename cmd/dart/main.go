@@ -7,6 +7,12 @@
 //	dart -in doc.html [-metadata md.txt | -scenario cashbudget|catalog]
 //	     [-interactive] [-show-milp] [-solver milp|cardsearch|greedy]
 //	     [-timeout 30s] [-trace out.jsonl]
+//	     [-decisions out.jsonl] [-replay in.jsonl]
+//
+// -decisions exports the validation session's suggestion/decision journal
+// as JSONL; -replay restores a journal before the run, re-applying its
+// decisions non-interactively (combine with -interactive to resume a
+// half-finished session by hand).
 //
 // With no -in, the built-in running example of the paper (Fig. 1 with the
 // 250-for-220 acquisition error) is processed.
@@ -24,6 +30,7 @@ import (
 	"dart/internal/docgen"
 	"dart/internal/metadata"
 	"dart/internal/obs"
+	"dart/internal/repair"
 	"dart/internal/scenario"
 )
 
@@ -47,6 +54,8 @@ func run() error {
 		lpFile       = flag.String("save-lp", "", "write the S*(AC) MILP instance to this file (CPLEX LP format)")
 		timeout      = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s); 0 = no limit")
 		traceFile    = flag.String("trace", "", "write the run's span trace to this file as JSONL (one span per line)")
+		decisionsOut = flag.String("decisions", "", "write the validation session's suggestion/decision journal to this file (JSONL)")
+		replayFile   = flag.String("replay", "", "restore a recorded decision journal before the run and re-apply it non-interactively")
 	)
 	flag.Parse()
 
@@ -94,6 +103,25 @@ func run() error {
 	p := &dart.Pipeline{Metadata: md, Solver: solver}
 	if *interactive {
 		p.Operator = &dart.InteractiveOperator{In: os.Stdin, Out: os.Stdout}
+	}
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			return fmt.Errorf("opening decision journal: %w", err)
+		}
+		events, err := repair.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		p.Ledger = repair.Restore(events)
+		fmt.Printf("restored %d journal events (%d suggestions, %d still open)\n",
+			len(events), len(p.Ledger.List()), p.Ledger.OpenCount())
+		if !*interactive {
+			// Non-interactive replay: the journal must cover every decision;
+			// leftovers mean it was recorded against different inputs.
+			p.Decider = repair.RequireDecided{}
+		}
 	}
 
 	acq, err := p.AcquireContext(ctx, src)
@@ -152,6 +180,12 @@ func run() error {
 		fmt.Printf("== Validation: %d iterations, %d decisions (%d accepted, %d rejected) ==\n",
 			res.Validation.Iterations, res.Validation.Examined,
 			res.Validation.Accepted, res.Validation.Rejected)
+		if *decisionsOut != "" {
+			if err := writeFile(*decisionsOut, res.Validation.Ledger.WriteJournal); err != nil {
+				return err
+			}
+			fmt.Printf("wrote decision journal to %s\n", *decisionsOut)
+		}
 	}
 	fmt.Println("== Repaired database ==")
 	fmt.Println(res.Repaired)

@@ -23,6 +23,9 @@
 //	GET  /v1/jobs/{id}        job status; includes the repair result when done
 //	GET  /v1/jobs/{id}/trace  the job's finished span tree (tracing only)
 //	GET  /v1/jobs             list all jobs
+//	GET  /v1/jobs/{id}/suggestions        a validate:true job's suggestion queue + audit history
+//	POST /v1/jobs/{id}/suggestions/{sid}  decide one suggestion: {"action": "accept"|"reject"|"revert", "seq": N, ...}
+//	GET  /v1/jobs/{id}/workbench          embedded single-page operator workbench
 //	GET  /debug/traces        the N slowest recent traces (tracing only)
 //	GET  /debug/pprof/        runtime profiles (-pprof only)
 //	GET  /healthz             liveness (503 while draining)

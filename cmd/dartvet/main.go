@@ -12,7 +12,7 @@
 //
 //	ctxloop    internal/core, internal/milp, internal/service
 //	floatcmp   internal/core, internal/milp
-//	lockcheck  internal/milp, internal/service, internal/store
+//	lockcheck  internal/milp, internal/repair, internal/service, internal/store
 //	retshim    internal/core
 //
 // Unless -novet is given it also execs "go vet" on the same patterns, so a
@@ -56,7 +56,7 @@ import (
 var scopes = map[string][]string{
 	ctxloop.Analyzer.Name:   {"internal/core", "internal/milp", "internal/service"},
 	floatcmp.Analyzer.Name:  {"internal/core", "internal/milp"},
-	lockcheck.Analyzer.Name: {"internal/milp", "internal/service", "internal/store"},
+	lockcheck.Analyzer.Name: {"internal/milp", "internal/repair", "internal/service", "internal/store"},
 	retshim.Analyzer.Name:   {"internal/core"},
 }
 

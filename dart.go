@@ -34,6 +34,7 @@ import (
 	"dart/internal/metadata"
 	"dart/internal/obs"
 	"dart/internal/relational"
+	"dart/internal/repair"
 	"dart/internal/validate"
 	"dart/internal/wrapper"
 )
@@ -72,6 +73,13 @@ type (
 	StringRepair = wrapper.Correction
 	// ValidationOutcome reports the finished operator loop.
 	ValidationOutcome = validate.Outcome
+	// Suggestion is one auditable repair record of a validation session.
+	Suggestion = repair.Suggestion
+	// Decider decides open suggestions round by round; Operator-based
+	// review, journal replay, and the dartd workbench all implement it.
+	Decider = repair.Decider
+	// Ledger collects a session's suggestions and decision journal.
+	Ledger = repair.Ledger
 )
 
 // ParseMetadata parses a designer metadata file.
@@ -88,8 +96,16 @@ type Pipeline struct {
 	// Solver computes repairs (default: NewMILPSolver()).
 	Solver Solver
 	// Operator validates proposed repairs; nil accepts the first computed
-	// repair without supervision (fully automatic mode).
+	// repair without supervision (fully automatic mode) unless a Decider is
+	// set.
 	Operator Operator
+	// Decider, when non-nil, drives the validation loop directly at the
+	// suggestion-ledger level (journal replay, HTTP workbench); it takes
+	// precedence over Operator.
+	Decider Decider
+	// Ledger, when non-nil, is adopted by the validation session instead of
+	// a fresh one — the resume path for sessions restored from a journal.
+	Ledger *Ledger
 	// ReviewPerIteration restarts the repair computation after this many
 	// validations (0 = review whole repairs).
 	ReviewPerIteration int
@@ -256,7 +272,7 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 		res.Repaired = acq.Database
 		return res, nil
 	}
-	if p.Operator == nil {
+	if p.Operator == nil && p.Decider == nil {
 		sctx, endSolver := p.stage(ctx, "solver")
 		pctx, endPrepare := p.stage(sctx, "prepare")
 		prob, err := core.Prepare(acq.Database, p.Metadata.Constraints())
@@ -296,6 +312,8 @@ func (p *Pipeline) RepairContext(ctx context.Context, acq *Acquisition) (*Result
 		Constraints:        p.Metadata.Constraints(),
 		Solver:             solver,
 		Operator:           p.Operator,
+		Decider:            p.Decider,
+		Ledger:             p.Ledger,
 		Context:            sctx,
 		ReviewPerIteration: p.ReviewPerIteration,
 	}

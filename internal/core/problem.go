@@ -116,6 +116,32 @@ func (p *Problem) Occurrences() []int {
 	return p.occ
 }
 
+// Evidence renders the ground constraints whose translation mentions the
+// item, capped at max entries (0 = all). The validation layer attaches
+// these to suggestions so an operator sees *why* a cell is implicated
+// before deciding.
+func (p *Problem) Evidence(it Item, max int) []string {
+	i := p.sys.IndexOf(it)
+	if i < 0 {
+		return nil
+	}
+	var out []string
+	for _, r := range p.sys.Rows {
+		if _, ok := r.Coeffs[i]; !ok {
+			continue
+		}
+		if r.Ground != nil {
+			out = append(out, r.Ground.String())
+		} else {
+			out = append(out, r.Name)
+		}
+		if max > 0 && len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
 // Stats returns a snapshot of the component-solve counters.
 func (p *Problem) Stats() ProblemStats {
 	p.mu.Lock()

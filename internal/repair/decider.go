@@ -1,0 +1,41 @@
+package repair
+
+import (
+	"context"
+	"fmt"
+)
+
+// Decider decides the open suggestions of one validation round. The loop
+// calls Decide with the open queue in review order; implementations mutate
+// the ledger (Accept/Reject/Revert) and return when the round is worked —
+// they need not decide everything (undecided suggestions come back next
+// round; the loop re-solves once the queue drains or a round ends).
+//
+// The stdin operator, the dartd HTTP workbench, and non-interactive
+// journal replay are all Deciders over the same ledger.
+type Decider interface {
+	Decide(ctx context.Context, l *Ledger, open []Suggestion) error
+}
+
+// DeciderFunc adapts a function to the Decider interface.
+type DeciderFunc func(ctx context.Context, l *Ledger, open []Suggestion) error
+
+// Decide implements Decider.
+func (f DeciderFunc) Decide(ctx context.Context, l *Ledger, open []Suggestion) error {
+	return f(ctx, l, open)
+}
+
+// RequireDecided is the decider of non-interactive journal replays: every
+// decision the session needs must already be in the restored journal, so
+// being consulted at all — the loop only calls Decide with a non-empty
+// open queue — means the journal does not cover this run.
+type RequireDecided struct{}
+
+// Decide implements Decider by failing with a description of what is
+// missing.
+func (RequireDecided) Decide(_ context.Context, _ *Ledger, open []Suggestion) error {
+	if len(open) == 0 {
+		return nil
+	}
+	return fmt.Errorf("repair: replay journal leaves %d suggestion(s) undecided (first: %s); was the journal recorded on a different document, solver, or decision sequence?", len(open), &open[0])
+}

@@ -1,0 +1,48 @@
+package repair
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJournal exports the ledger's event journal as JSONL, one event per
+// line — the format cmd/dart's -decisions flag writes and -replay reads.
+func (l *Ledger) WriteJournal(w io.Writer) error {
+	for _, ev := range l.Journal() {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("repair: encoding journal event %d: %w", ev.Seq, err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJournal parses a JSONL event journal; blank lines are skipped.
+func ReadJournal(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("repair: journal line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("repair: reading journal: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,499 @@
+package repair
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dart/internal/core"
+)
+
+var (
+	// ErrNotFound reports a decision addressed to an unknown suggestion.
+	ErrNotFound = errors.New("repair: no such suggestion")
+	// ErrSeqConflict reports an optimistic-concurrency failure: the caller
+	// decided on a stale view of the suggestion (its Seq moved on).
+	ErrSeqConflict = errors.New("repair: suggestion changed since it was read")
+	// ErrState reports a transition the state machine forbids (accepting a
+	// rejected suggestion, reverting an open one, ...).
+	ErrState = errors.New("repair: invalid suggestion state transition")
+	// ErrClosed rejects mutations after the session ended.
+	ErrClosed = errors.New("repair: ledger is closed")
+)
+
+// Ledger collects the suggestions of one validation session: the live
+// suggestion set, the append-only event journal, the derived pin set, and a
+// wait primitive deciders park on. All mutations append one Event to the
+// journal and feed it to the bound observer, so restoring a ledger from its
+// journal reproduces the exact pre-crash state.
+type Ledger struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	byID    map[int]*Suggestion
+	order   []int
+	byItem  map[core.Item]int // live (proposed/accepted/rejected) suggestion per item
+	journal []Event
+	nextID  int
+	nextSeq uint64
+	ctrs    Counters
+	closed  bool
+	// observer receives every event while mu is held (appends stay ordered);
+	// it must not call back into the ledger.
+	observer func(Event)
+	// now is the transition clock; tests override it for determinism.
+	now func() time.Time
+
+	open atomic.Int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	l := &Ledger{
+		byID:   make(map[int]*Suggestion),
+		byItem: make(map[core.Item]int),
+		now:    time.Now,
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Restore rebuilds a ledger from an event journal (the crash-recovery and
+// replay path). IDs, sequences, and audit timestamps come back exactly as
+// journaled, so a session resumed on a restored ledger re-proposes its open
+// suggestions idempotently instead of minting fresh records.
+func Restore(events []Event) *Ledger {
+	l := NewLedger()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ev := range events {
+		snap := ev.Suggestion
+		snap.Evidence = append([]string(nil), ev.Suggestion.Evidence...)
+		if _, seen := l.byID[snap.ID]; !seen {
+			l.order = append(l.order, snap.ID)
+		}
+		l.byID[snap.ID] = &snap
+		switch ev.Kind {
+		case KindProposed:
+			l.byItem[snap.Item()] = snap.ID
+			l.ctrs.Proposed++
+		case KindAccepted:
+			if autoDecided(snap.DecidedBy) {
+				l.ctrs.AutoAccepted++
+			} else {
+				l.ctrs.Accepted++
+				l.ctrs.Examined++
+			}
+		case KindRejected:
+			l.ctrs.Rejected++
+			l.ctrs.Examined++
+		case KindReverted:
+			l.ctrs.Reverted++
+			if l.byItem[snap.Item()] == snap.ID {
+				delete(l.byItem, snap.Item())
+			}
+		case KindSuperseded:
+			l.ctrs.Superseded++
+			if l.byItem[snap.Item()] == snap.ID {
+				delete(l.byItem, snap.Item())
+			}
+		}
+		if ev.Seq > l.nextSeq {
+			l.nextSeq = ev.Seq
+		}
+		if snap.ID > l.nextID {
+			l.nextID = snap.ID
+		}
+		l.journal = append(l.journal, ev)
+	}
+	var open int64
+	for _, s := range l.byID {
+		if s.Open() {
+			open++
+		}
+	}
+	l.open.Store(open)
+	return l
+}
+
+// SetObserver binds the event observer; every subsequent transition is
+// delivered under the ledger lock, in journal order. Bind before the
+// session starts.
+func (l *Ledger) SetObserver(fn func(Event)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observer = fn
+}
+
+// SetNow overrides the transition clock (tests).
+func (l *Ledger) SetNow(now func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+}
+
+// appendEventLocked journals one transition: it advances the event
+// sequence, stamps it onto the suggestion (the next concurrency token),
+// records the post-transition snapshot, and feeds the observer.
+func (l *Ledger) appendEventLocked(kind Kind, s *Suggestion, at time.Time) {
+	l.nextSeq++
+	s.Seq = l.nextSeq
+	snap := *s
+	snap.Evidence = append([]string(nil), s.Evidence...)
+	ev := Event{Seq: l.nextSeq, Kind: kind, At: at.UnixNano(), Suggestion: snap}
+	l.journal = append(l.journal, ev)
+	if l.observer != nil {
+		l.observer(ev)
+	}
+}
+
+// SyncRound reconciles the ledger with one re-solve's candidate updates:
+// open proposals the solver no longer suggests are superseded, proposals
+// already open (same cell, same value) are kept as-is — a resumed session
+// re-proposes its restored queue without new events — and genuinely new
+// proposals enter as fresh suggestions. It returns the open queue in
+// review order: occurrences descending (the paper's heuristic), then
+// confidence ascending (least-confident first, where operator attention
+// pays most), then ID.
+func (l *Ledger) SyncRound(iteration int, props []Proposal) []Suggestion {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	at := l.now()
+	want := make(map[core.Item]float64, len(props))
+	for _, p := range props {
+		want[p.Item] = p.New
+	}
+	for _, id := range l.order {
+		s := l.byID[id]
+		if !s.Open() {
+			continue
+		}
+		if v, ok := want[s.Item()]; ok && v == s.New {
+			continue
+		}
+		l.supersedeLocked(s, "solver", at)
+	}
+	for _, p := range props {
+		if id, ok := l.byItem[p.Item]; ok {
+			if s := l.byID[id]; s.Open() || s.Decided() {
+				// Already open with the same value (stale-value proposals
+				// were superseded above, clearing byItem), or decided —
+				// nothing to propose.
+				continue
+			}
+		}
+		l.nextID++
+		s := &Suggestion{
+			ID:          l.nextID,
+			Relation:    p.Item.Relation,
+			Tuple:       p.Item.TupleID,
+			Attr:        p.Item.Attr,
+			Domain:      p.Domain,
+			Old:         p.Old,
+			New:         p.New,
+			Occurrences: p.Occurrences,
+			Confidence:  p.Confidence,
+			Evidence:    append([]string(nil), p.Evidence...),
+			State:       StateProposed,
+			Iteration:   iteration,
+			ProposedAt:  at.UnixNano(),
+		}
+		l.byID[s.ID] = s
+		l.order = append(l.order, s.ID)
+		l.byItem[p.Item] = s.ID
+		l.ctrs.Proposed++
+		l.open.Add(1)
+		l.appendEventLocked(KindProposed, s, at)
+	}
+	return l.openLocked()
+}
+
+// supersedeLocked invalidates one open proposal.
+func (l *Ledger) supersedeLocked(s *Suggestion, by string, at time.Time) {
+	s.State = StateSuperseded
+	s.SupersededAt = at.UnixNano()
+	s.SupersededBy = by
+	if l.byItem[s.Item()] == s.ID {
+		delete(l.byItem, s.Item())
+	}
+	l.ctrs.Superseded++
+	l.open.Add(-1)
+	l.appendEventLocked(KindSuperseded, s, at)
+}
+
+// openLocked returns the open queue in review order.
+func (l *Ledger) openLocked() []Suggestion {
+	var out []Suggestion
+	for _, id := range l.order {
+		if s := l.byID[id]; s.Open() {
+			snap := *s
+			snap.Evidence = append([]string(nil), s.Evidence...)
+			out = append(out, snap)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Occurrences != out[j].Occurrences {
+			return out[i].Occurrences > out[j].Occurrences
+		}
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence < out[j].Confidence
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Open returns the open suggestion queue in review order.
+func (l *Ledger) Open() []Suggestion {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.openLocked()
+}
+
+// List returns every suggestion in ID order — the full audit history.
+func (l *Ledger) List() []Suggestion {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Suggestion, 0, len(l.order))
+	for _, id := range l.order {
+		s := l.byID[id]
+		snap := *s
+		snap.Evidence = append([]string(nil), s.Evidence...)
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns one suggestion by ID.
+func (l *Ledger) Get(id int) (Suggestion, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.byID[id]
+	if !ok {
+		return Suggestion{}, false
+	}
+	snap := *s
+	snap.Evidence = append([]string(nil), s.Evidence...)
+	return snap, true
+}
+
+// decidableLocked validates the common decision preconditions.
+func (l *Ledger) decidableLocked(id int, seq uint64) (*Suggestion, error) {
+	if l.closed {
+		return nil, ErrClosed
+	}
+	s, ok := l.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	if s.Seq != seq {
+		return nil, fmt.Errorf("%w: %s is at seq %d, decision read seq %d", ErrSeqConflict, s, s.Seq, seq)
+	}
+	return s, nil
+}
+
+// Accept confirms the suggested value: proposed → accepted, pinning New.
+// seq must match the suggestion's current Seq (optimistic concurrency).
+func (l *Ledger) Accept(id int, by string, seq uint64) (Suggestion, error) {
+	return l.decide(id, by, seq, StateAccepted, 0)
+}
+
+// Reject pins the actual source value instead: proposed → rejected.
+func (l *Ledger) Reject(id int, actual float64, by string, seq uint64) (Suggestion, error) {
+	return l.decide(id, by, seq, StateRejected, actual)
+}
+
+// decide applies one accept/reject transition.
+func (l *Ledger) decide(id int, by string, seq uint64, to State, actual float64) (Suggestion, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, err := l.decidableLocked(id, seq)
+	if err != nil {
+		return Suggestion{}, err
+	}
+	if !s.Open() {
+		return Suggestion{}, fmt.Errorf("%w: cannot %s %s", ErrState, to, s)
+	}
+	if by == "" {
+		by = "operator"
+	}
+	at := l.now()
+	s.State = to
+	s.DecidedAt = at.UnixNano()
+	s.DecidedBy = by
+	kind := KindAccepted
+	if to == StateAccepted {
+		s.DecidedValue = s.New
+		if autoDecided(by) {
+			l.ctrs.AutoAccepted++
+		} else {
+			l.ctrs.Accepted++
+			l.ctrs.Examined++
+		}
+	} else {
+		kind = KindRejected
+		s.DecidedValue = actual
+		l.ctrs.Rejected++
+		l.ctrs.Examined++
+	}
+	l.open.Add(-1)
+	l.appendEventLocked(kind, s, at)
+	l.cond.Broadcast()
+	return *s, nil
+}
+
+// Revert rolls back an accepted decision: accepted → reverted, the pin is
+// removed, and — because every open proposal was computed by a re-solve
+// that assumed the pin — all open proposals are superseded. The next
+// re-solve re-proposes whatever still holds without it.
+func (l *Ledger) Revert(id int, by string, seq uint64) (Suggestion, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, err := l.decidableLocked(id, seq)
+	if err != nil {
+		return Suggestion{}, err
+	}
+	if s.State != StateAccepted {
+		return Suggestion{}, fmt.Errorf("%w: cannot revert %s (only accepted decisions revert)", ErrState, s)
+	}
+	if by == "" {
+		by = "operator"
+	}
+	at := l.now()
+	s.State = StateReverted
+	s.RevertedAt = at.UnixNano()
+	s.RevertedBy = by
+	if l.byItem[s.Item()] == s.ID {
+		delete(l.byItem, s.Item())
+	}
+	l.ctrs.Reverted++
+	l.appendEventLocked(KindReverted, s, at)
+	for _, oid := range l.order {
+		if dep := l.byID[oid]; dep.Open() {
+			l.supersedeLocked(dep, fmt.Sprintf("revert:%d", id), at)
+		}
+	}
+	l.cond.Broadcast()
+	return *s, nil
+}
+
+// Pins returns the forced-value set the solver must honor: accepted
+// suggestions pin their suggested value, rejected ones the operator's
+// actual source value. Reverted and superseded suggestions pin nothing.
+func (l *Ledger) Pins() map[core.Item]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[core.Item]float64)
+	for _, id := range l.byItem {
+		if s := l.byID[id]; s.Decided() {
+			out[s.Item()] = s.DecidedValue
+		}
+	}
+	return out
+}
+
+// DecidedItems returns the cells carrying a live decision.
+func (l *Ledger) DecidedItems() map[core.Item]bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[core.Item]bool)
+	for it, id := range l.byItem {
+		if l.byID[id].Decided() {
+			out[it] = true
+		}
+	}
+	return out
+}
+
+// OpenCount reports the number of suggestions awaiting a decision.
+//
+//dartvet:allow lockcheck -- open is an atomic counter; sampling it must not contend with parked deciders
+func (l *Ledger) OpenCount() int { return int(l.open.Load()) }
+
+// Counters returns the ledger's activity tallies.
+func (l *Ledger) Counters() Counters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ctrs
+}
+
+// JournalLen reports the number of journaled events.
+func (l *Ledger) JournalLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.journal)
+}
+
+// JournalSince returns a copy of the events journaled at index n onward.
+func (l *Ledger) JournalSince(n int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 || n > len(l.journal) {
+		n = len(l.journal)
+	}
+	return append([]Event(nil), l.journal[n:]...)
+}
+
+// Journal returns a copy of the full event journal.
+func (l *Ledger) Journal() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.journal...)
+}
+
+// MaxIteration reports the highest round number that proposed a
+// suggestion; a session resuming on a restored ledger continues its
+// iteration count from there.
+func (l *Ledger) MaxIteration() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	max := 0
+	for _, s := range l.byID {
+		if s.Iteration > max {
+			max = s.Iteration
+		}
+	}
+	return max
+}
+
+// WaitNoOpen parks until every open suggestion is decided (or superseded),
+// the ledger closes, or ctx is done. The dartd decider parks here while
+// operators work the queue over HTTP.
+func (l *Ledger) WaitNoOpen(ctx context.Context) error {
+	// Wake the cond wait when the context fires; without this a cancelled
+	// session would park forever on a queue nobody will decide.
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if l.open.Load() == 0 {
+			return nil
+		}
+		l.cond.Wait()
+	}
+}
+
+// Close ends the session: further mutations fail with ErrClosed and parked
+// waiters wake. Reads (List, Journal, ...) keep working — a finished
+// session's audit history stays queryable. Idempotent.
+func (l *Ledger) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}

@@ -1,0 +1,71 @@
+package repair
+
+import (
+	"fmt"
+
+	"dart/internal/core"
+	"dart/internal/relational"
+)
+
+// Overlay resolves reads through a ledger's decided set without mutating
+// the base database: the acquired instance stays immutable for the whole
+// session, and the final repaired database is materialized from base +
+// pins in a single clone at the end.
+type Overlay struct {
+	base   *relational.Database
+	ledger *Ledger
+}
+
+// NewOverlay wraps a base database and the session's ledger.
+func NewOverlay(base *relational.Database, ledger *Ledger) *Overlay {
+	return &Overlay{base: base, ledger: ledger}
+}
+
+// Base returns the immutable acquired database.
+func (o *Overlay) Base() *relational.Database { return o.base }
+
+// Pins returns the ledger's current forced-value set.
+func (o *Overlay) Pins() map[core.Item]float64 { return o.ledger.Pins() }
+
+// Value resolves one cell: the pinned decided value when a live decision
+// covers the cell, the base value otherwise. ok is false when the cell
+// does not exist in the base database.
+func (o *Overlay) Value(it core.Item) (v float64, pinned, ok bool) {
+	if pin, has := o.ledger.Pins()[it]; has {
+		return pin, true, true
+	}
+	rel := o.base.Relation(it.Relation)
+	if rel == nil {
+		return 0, false, false
+	}
+	t := rel.TupleByID(it.TupleID)
+	if t == nil {
+		return 0, false, false
+	}
+	return t.Get(it.Attr).AsFloat(), false, true
+}
+
+// Materialize produces the repaired database: one clone of the base with
+// every pinned decided value written through, domains respected. The base
+// is never touched.
+func (o *Overlay) Materialize() (*relational.Database, error) {
+	out := o.base.Clone()
+	for it, v := range o.ledger.Pins() {
+		rel := out.Relation(it.Relation)
+		if rel == nil {
+			return nil, fmt.Errorf("repair: pinned cell names unknown relation %q", it.Relation)
+		}
+		dom, err := rel.Schema().DomainOf(it.Attr)
+		if err != nil {
+			return nil, fmt.Errorf("repair: pinned cell %v: %w", it, err)
+		}
+		val, err := relational.FromFloat(v, dom)
+		if err != nil {
+			return nil, fmt.Errorf("repair: pinned cell %v: %w", it, err)
+		}
+		if err := rel.SetValue(it.TupleID, it.Attr, val); err != nil {
+			return nil, fmt.Errorf("repair: applying pin %v: %w", it, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+// Package repair makes repairs first-class, auditable records. The acquired
+// database stays immutable: every change the validation loop wants to make
+// becomes a Suggestion — target cell, old/new value, the paper's
+// ground-constraint participation count, a confidence score, and evidence
+// summaries — that moves through an explicit state machine
+//
+//	PROPOSED ──accept──▶ ACCEPTED ──revert──▶ REVERTED
+//	    │                    (reverting supersedes every open proposal)
+//	    ├──reject──▶ REJECTED
+//	    └──(stale re-solve / revert)──▶ SUPERSEDED
+//
+// with who/when audit fields on every transition. A Ledger collects the
+// suggestions of one validation session, journals every transition as an
+// Event (the durable, replayable decision history), and derives the pin set
+// the solver re-solves under. An Overlay resolves reads through the decided
+// set without ever mutating the base database; Materialize produces the
+// final repaired instance from base + pins in one clone.
+//
+// Deciders are the generic operator interface: the stdin operator, the
+// dartd HTTP workbench, and non-interactive journal replay are all just
+// Decider implementations over the same ledger.
+package repair
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dart/internal/core"
+)
+
+// State is the lifecycle state of one suggestion.
+type State string
+
+const (
+	// StateProposed means the suggestion awaits a decision.
+	StateProposed State = "proposed"
+	// StateAccepted means an operator confirmed the suggested value.
+	StateAccepted State = "accepted"
+	// StateRejected means an operator supplied the actual source value
+	// instead (the decided value pins that actual value).
+	StateRejected State = "rejected"
+	// StateReverted means an accepted decision was rolled back; the pin is
+	// removed and every open proposal computed under it is superseded.
+	StateReverted State = "reverted"
+	// StateSuperseded means the proposal was invalidated before a decision:
+	// a re-solve stopped suggesting it, or a revert removed a pin it was
+	// computed under. Superseded suggestions stay in the ledger for audit;
+	// a later re-solve proposing the same change gets a fresh record.
+	StateSuperseded State = "superseded"
+)
+
+// States lists every state in lifecycle order.
+var States = []State{StateProposed, StateAccepted, StateRejected, StateReverted, StateSuperseded}
+
+// Suggestion is one auditable repair record. Timestamps are UnixNano so
+// journal round-trips re-encode byte-identically. Seq is the ledger event
+// sequence of the suggestion's latest transition: clients echo it back as
+// the optimistic-concurrency token, so a decision based on a stale view
+// fails with ErrSeqConflict instead of silently racing.
+type Suggestion struct {
+	ID  int    `json:"id"`
+	Seq uint64 `json:"seq"`
+
+	// Target cell plus its domain tag ("Z" or "R"; measures are numeric).
+	Relation string `json:"relation"`
+	Tuple    int    `json:"tuple"`
+	Attr     string `json:"attr"`
+	Domain   string `json:"domain"`
+
+	// Old is the acquired value, New the solver's proposed replacement.
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+
+	// Occurrences is the item's ground-constraint participation count
+	// (Section 6.3's display-ordering heuristic); Confidence scores the
+	// proposed change in (0, 1]; Evidence renders the ground constraints
+	// the item participates in.
+	Occurrences int      `json:"occurrences"`
+	Confidence  float64  `json:"confidence"`
+	Evidence    []string `json:"evidence,omitempty"`
+
+	State State `json:"state"`
+	// Iteration is the validation-loop round that proposed the suggestion.
+	Iteration int `json:"iteration"`
+
+	ProposedAt int64 `json:"proposed_at"`
+
+	// Decision audit: who decided, when, and the pinned value (New for an
+	// accept, the operator's actual source value for a reject).
+	DecidedAt    int64   `json:"decided_at,omitempty"`
+	DecidedBy    string  `json:"decided_by,omitempty"`
+	DecidedValue float64 `json:"decided_value,omitempty"`
+
+	// Revert / supersede audit.
+	RevertedAt   int64  `json:"reverted_at,omitempty"`
+	RevertedBy   string `json:"reverted_by,omitempty"`
+	SupersededAt int64  `json:"superseded_at,omitempty"`
+	SupersededBy string `json:"superseded_by,omitempty"`
+}
+
+// Item addresses the suggestion's target cell.
+func (s *Suggestion) Item() core.Item {
+	return core.Item{Relation: s.Relation, TupleID: s.Tuple, Attr: s.Attr}
+}
+
+// Open reports whether the suggestion still awaits a decision.
+func (s *Suggestion) Open() bool { return s.State == StateProposed }
+
+// Decided reports whether the suggestion carries a live decision (its
+// decided value is pinned for subsequent re-solves).
+func (s *Suggestion) Decided() bool { return s.State == StateAccepted || s.State == StateRejected }
+
+// String renders the suggestion for logs and error messages.
+func (s *Suggestion) String() string {
+	return fmt.Sprintf("#%d %s[%d].%s: %v -> %v (%s)", s.ID, s.Relation, s.Tuple, s.Attr, s.Old, s.New, s.State)
+}
+
+// Kind tags one ledger event.
+type Kind string
+
+const (
+	// KindProposed records a new suggestion entering the ledger.
+	KindProposed Kind = "proposed"
+	// KindAccepted records an operator accepting the suggested value.
+	KindAccepted Kind = "accepted"
+	// KindRejected records an operator pinning the actual source value.
+	KindRejected Kind = "rejected"
+	// KindReverted records an accepted decision being rolled back.
+	KindReverted Kind = "reverted"
+	// KindSuperseded records a proposal invalidated before a decision.
+	KindSuperseded Kind = "superseded"
+)
+
+// Event is one journaled ledger transition: the event sequence, the kind,
+// the transition time, and the full post-transition suggestion snapshot.
+// Restoring a ledger from its event journal reproduces every suggestion —
+// IDs, sequences, and audit timestamps included — byte-identically.
+type Event struct {
+	Seq        uint64     `json:"seq"`
+	Kind       Kind       `json:"kind"`
+	At         int64      `json:"at"`
+	Suggestion Suggestion `json:"suggestion"`
+}
+
+// Proposal is one candidate update the validation loop syncs into the
+// ledger each round.
+type Proposal struct {
+	Item        core.Item
+	Domain      string
+	Old, New    float64
+	Occurrences int
+	Confidence  float64
+	Evidence    []string
+}
+
+// Counters tallies ledger activity. Examined counts operator decisions
+// (accepts plus rejects, the paper's human-effort metric); auto-accepted
+// suggestions (DecidedBy prefixed "auto:") are counted separately.
+type Counters struct {
+	Proposed     int `json:"proposed"`
+	Examined     int `json:"examined"`
+	Accepted     int `json:"accepted"`
+	Rejected     int `json:"rejected"`
+	AutoAccepted int `json:"auto_accepted"`
+	Reverted     int `json:"reverted"`
+	Superseded   int `json:"superseded"`
+}
+
+// autoDecided reports whether a decision was made without an operator
+// (reliability auto-accepts use by = "auto:reliable").
+func autoDecided(by string) bool { return strings.HasPrefix(by, "auto:") }
+
+// Confidence scores a proposed update in (0, 1]: the smaller the change
+// relative to the old magnitude, the likelier it is a genuine acquisition
+// slip (a misread digit) rather than a structural disagreement, so small
+// relative deltas score high. 1 means old == new.
+func Confidence(old, new float64) float64 {
+	return 1 / (1 + math.Abs(new-old)/(1+math.Abs(old)))
+}

@@ -1,0 +1,337 @@
+package repair
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"dart/internal/core"
+	"dart/internal/relational"
+)
+
+// fakeClock hands out strictly increasing instants so every event carries a
+// distinct, deterministic timestamp.
+func fakeClock() func() time.Time {
+	t := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func item(tuple int) core.Item {
+	return core.Item{Relation: "cashbudget", TupleID: tuple, Attr: "value"}
+}
+
+func prop(tuple int, old, new float64, occ int) Proposal {
+	return Proposal{
+		Item:        item(tuple),
+		Domain:      "Z",
+		Old:         old,
+		New:         new,
+		Occurrences: occ,
+		Confidence:  Confidence(old, new),
+		Evidence:    []string{"sec1: sum(value) = total"},
+	}
+}
+
+func TestLedgerLifecycleAndPins(t *testing.T) {
+	l := NewLedger()
+	l.SetNow(fakeClock())
+	open := l.SyncRound(1, []Proposal{prop(1, 250, 220, 3), prop(2, 10, 15, 1)})
+	if len(open) != 2 {
+		t.Fatalf("open after sync = %d, want 2", len(open))
+	}
+	// Review order: occurrences descending.
+	if open[0].Item() != item(1) {
+		t.Fatalf("review order puts %v first, want tuple 1 (occ 3)", open[0].Item())
+	}
+	if got := l.OpenCount(); got != 2 {
+		t.Fatalf("OpenCount = %d, want 2", got)
+	}
+
+	acc, err := l.Accept(open[0].ID, "alice", open[0].Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.State != StateAccepted || acc.DecidedBy != "alice" || acc.DecidedValue != 220 {
+		t.Fatalf("accepted suggestion = %+v", acc)
+	}
+	rej, err := l.Reject(open[1].ID, 12, "bob", open[1].Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej.State != StateRejected || rej.DecidedValue != 12 {
+		t.Fatalf("rejected suggestion = %+v", rej)
+	}
+	pins := l.Pins()
+	if pins[item(1)] != 220 || pins[item(2)] != 12 {
+		t.Fatalf("pins = %v, want tuple1=220 tuple2=12", pins)
+	}
+	c := l.Counters()
+	if c.Proposed != 2 || c.Accepted != 1 || c.Rejected != 1 || c.Examined != 2 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestLedgerSeqConflictAndStateErrors(t *testing.T) {
+	l := NewLedger()
+	l.SetNow(fakeClock())
+	open := l.SyncRound(1, []Proposal{prop(1, 250, 220, 1)})
+	sg := open[0]
+	if _, err := l.Accept(sg.ID, "", sg.Seq+41); !errors.Is(err, ErrSeqConflict) {
+		t.Fatalf("stale-seq accept error = %v, want ErrSeqConflict", err)
+	}
+	if _, err := l.Revert(sg.ID, "", sg.Seq); !errors.Is(err, ErrState) {
+		t.Fatalf("revert of open suggestion = %v, want ErrState", err)
+	}
+	acc, err := l.Accept(sg.ID, "", sg.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decision advanced the seq: deciding again on the old token
+	// conflicts; on the fresh token it violates the state machine.
+	if _, err := l.Accept(sg.ID, "", sg.Seq); !errors.Is(err, ErrSeqConflict) {
+		t.Fatalf("re-accept on stale seq = %v, want ErrSeqConflict", err)
+	}
+	if _, err := l.Reject(sg.ID, 0, "", acc.Seq); !errors.Is(err, ErrState) {
+		t.Fatalf("reject of accepted suggestion = %v, want ErrState", err)
+	}
+	if _, err := l.Accept(99, "", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("accept of unknown id = %v, want ErrNotFound", err)
+	}
+	l.Close()
+	if _, err := l.Revert(sg.ID, "", acc.Seq); !errors.Is(err, ErrClosed) {
+		t.Fatalf("mutation after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestRevertInvalidatesOpenProposals(t *testing.T) {
+	l := NewLedger()
+	l.SetNow(fakeClock())
+	open := l.SyncRound(1, []Proposal{prop(1, 250, 220, 3), prop(2, 10, 15, 1)})
+	acc, err := l.Accept(open[0].ID, "", open[0].Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := l.Revert(acc.ID, "carol", acc.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.State != StateReverted || rev.RevertedBy != "carol" {
+		t.Fatalf("reverted suggestion = %+v", rev)
+	}
+	// The revert removed the pin AND superseded the dependent open proposal.
+	if n := l.OpenCount(); n != 0 {
+		t.Fatalf("open after revert = %d, want 0 (dependents superseded)", n)
+	}
+	dep, _ := l.Get(open[1].ID)
+	if dep.State != StateSuperseded || dep.SupersededBy != "revert:"+itoa(acc.ID) {
+		t.Fatalf("dependent = %+v, want superseded by revert:%d", dep, acc.ID)
+	}
+	if len(l.Pins()) != 0 {
+		t.Fatalf("pins after revert = %v, want none", l.Pins())
+	}
+	// The next round re-proposes as fresh records.
+	open2 := l.SyncRound(2, []Proposal{prop(1, 250, 220, 3), prop(2, 10, 15, 1)})
+	if len(open2) != 2 || open2[0].ID == open[0].ID {
+		t.Fatalf("re-sync after revert: open=%v", open2)
+	}
+	c := l.Counters()
+	if c.Reverted != 1 || c.Superseded != 1 || c.Proposed != 4 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+func TestSyncRoundIsIdempotentAndSupersedesStale(t *testing.T) {
+	l := NewLedger()
+	l.SetNow(fakeClock())
+	open := l.SyncRound(1, []Proposal{prop(1, 250, 220, 3)})
+	events := l.JournalLen()
+	// Same proposal again: no new suggestion, no new event.
+	again := l.SyncRound(2, []Proposal{prop(1, 250, 220, 3)})
+	if len(again) != 1 || again[0].ID != open[0].ID || l.JournalLen() != events {
+		t.Fatalf("idempotent re-sync minted events: open=%v journal %d -> %d", again, events, l.JournalLen())
+	}
+	// A different value for the same cell supersedes and re-proposes.
+	changed := l.SyncRound(3, []Proposal{prop(1, 250, 230, 3)})
+	if len(changed) != 1 || changed[0].ID == open[0].ID || changed[0].New != 230 {
+		t.Fatalf("value change not re-proposed: %v", changed)
+	}
+	old, _ := l.Get(open[0].ID)
+	if old.State != StateSuperseded || old.SupersededBy != "solver" {
+		t.Fatalf("stale proposal = %+v, want superseded by solver", old)
+	}
+}
+
+func TestAutoAcceptCountsSeparately(t *testing.T) {
+	l := NewLedger()
+	l.SetNow(fakeClock())
+	open := l.SyncRound(1, []Proposal{prop(1, 250, 220, 1)})
+	if _, err := l.Accept(open[0].ID, "auto:reliable", open[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	c := l.Counters()
+	if c.AutoAccepted != 1 || c.Accepted != 0 || c.Examined != 0 {
+		t.Fatalf("auto-accept counters = %+v, want AutoAccepted=1 Examined=0", c)
+	}
+}
+
+func TestJournalRoundTripAndRestore(t *testing.T) {
+	l := NewLedger()
+	l.SetNow(fakeClock())
+	open := l.SyncRound(1, []Proposal{prop(1, 250, 220, 3), prop(2, 10, 15, 1)})
+	if _, err := l.Accept(open[0].ID, "alice", open[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Reject(open[1].ID, 12, "bob", open[1].Seq); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := l.WriteJournal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := Restore(events)
+
+	// Byte-identical audit state: suggestions, counters, pins, journal.
+	want, _ := json.Marshal(l.List())
+	got, _ := json.Marshal(restored.List())
+	if !bytes.Equal(want, got) {
+		t.Fatalf("restored suggestions differ:\n%s\n%s", want, got)
+	}
+	if l.Counters() != restored.Counters() {
+		t.Fatalf("restored counters %+v, want %+v", restored.Counters(), l.Counters())
+	}
+	var rebuf bytes.Buffer
+	if err := restored.WriteJournal(&rebuf); err != nil {
+		t.Fatal(err)
+	}
+	var orig bytes.Buffer
+	if err := l.WriteJournal(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), rebuf.Bytes()) {
+		t.Fatal("re-exported journal is not byte-identical")
+	}
+
+	// A restored ledger keeps numbering: new suggestions get fresh IDs/seqs.
+	restored.SetNow(fakeClock())
+	open2 := restored.SyncRound(2, []Proposal{prop(3, 1, 2, 1)})
+	if len(open2) != 1 || open2[0].ID != 3 {
+		t.Fatalf("post-restore proposal = %v, want ID 3", open2)
+	}
+	if restored.MaxIteration() != 2 {
+		t.Fatalf("MaxIteration = %d, want 2", restored.MaxIteration())
+	}
+}
+
+func TestWaitNoOpenWakesOnLastDecisionAndCancel(t *testing.T) {
+	l := NewLedger()
+	l.SetNow(fakeClock())
+	open := l.SyncRound(1, []Proposal{prop(1, 250, 220, 1)})
+
+	done := make(chan error, 1)
+	go func() { done <- l.WaitNoOpen(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := l.Accept(open[0].ID, "", open[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitNoOpen = %v after last decision", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitNoOpen did not wake after the last decision")
+	}
+
+	// Cancellation wakes a parked waiter.
+	l.SyncRound(2, []Proposal{prop(2, 1, 2, 1)})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { done <- l.WaitNoOpen(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled WaitNoOpen = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitNoOpen did not wake on cancellation")
+	}
+}
+
+func TestOverlayMaterializeLeavesBaseUntouched(t *testing.T) {
+	db := relational.NewDatabase()
+	schema, err := relational.NewSchema("cashbudget",
+		relational.Attribute{Name: "sec", Domain: relational.DomainString},
+		relational.Attribute{Name: "value", Domain: relational.DomainInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.AddRelation(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := rel.Insert(relational.String("a"), relational.Int(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DesignateMeasure("cashbudget", "value"); err != nil {
+		t.Fatal(err)
+	}
+
+	l := NewLedger()
+	l.SetNow(fakeClock())
+	open := l.SyncRound(1, []Proposal{{
+		Item:   core.Item{Relation: "cashbudget", TupleID: t1.ID(), Attr: "value"},
+		Domain: "Z", Old: 250, New: 220, Confidence: 1,
+	}})
+	if _, err := l.Accept(open[0].ID, "", open[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+
+	ov := NewOverlay(db, l)
+	if v, pinned, ok := ov.Value(open[0].Item()); !ok || !pinned || v != 220 {
+		t.Fatalf("overlay value = (%v, pinned=%v, ok=%v), want (220, true, true)", v, pinned, ok)
+	}
+	repaired, err := ov.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := repaired.Relation("cashbudget").TupleByID(t1.ID()).Get("value").AsInt(); got != 220 {
+		t.Fatalf("materialized value = %d, want 220", got)
+	}
+	// The base database is untouched.
+	if got := rel.TupleByID(t1.ID()).Get("value").AsInt(); got != 250 {
+		t.Fatalf("base database mutated to %d, want 250", got)
+	}
+}
+
+func TestRequireDecidedRefusesOpenQueue(t *testing.T) {
+	l := NewLedger()
+	l.SetNow(fakeClock())
+	open := l.SyncRound(1, []Proposal{prop(1, 250, 220, 1)})
+	if err := (RequireDecided{}).Decide(context.Background(), l, open); err == nil {
+		t.Fatal("RequireDecided accepted an undecided queue")
+	}
+	if _, err := l.Accept(open[0].ID, "", open[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := (RequireDecided{}).Decide(context.Background(), l, nil); err != nil {
+		t.Fatalf("RequireDecided on drained queue = %v", err)
+	}
+}

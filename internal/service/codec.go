@@ -13,6 +13,7 @@ import (
 
 	"dart"
 	"dart/internal/relational"
+	"dart/internal/repair"
 )
 
 // ValueJSON is the wire form of one typed relational value: the domain tag
@@ -324,11 +325,26 @@ func EncodeAcquisition(a *dart.Acquisition) *AcquisitionJSON {
 	return out
 }
 
+// ValidationJSON is the wire form of a finished validation session: the
+// ledger counters plus every suggestion record with its full who/when
+// audit history.
+type ValidationJSON struct {
+	Iterations   int                 `json:"iterations"`
+	Examined     int                 `json:"examined"`
+	Accepted     int                 `json:"accepted"`
+	Rejected     int                 `json:"rejected"`
+	AutoAccepted int                 `json:"auto_accepted"`
+	Reverted     int                 `json:"reverted"`
+	Superseded   int                 `json:"superseded"`
+	Suggestions  []repair.Suggestion `json:"suggestions,omitempty"`
+}
+
 // ResultJSON is the wire form of a completed pipeline run.
 type ResultJSON struct {
 	Acquisition *AcquisitionJSON `json:"acquisition,omitempty"`
 	Repair      *RepairJSON      `json:"repair,omitempty"`
 	Repaired    *DatabaseJSON    `json:"repaired,omitempty"`
+	Validation  *ValidationJSON  `json:"validation,omitempty"`
 }
 
 // EncodeResult converts a pipeline result to its wire form.
@@ -336,9 +352,26 @@ func EncodeResult(r *dart.Result) *ResultJSON {
 	if r == nil {
 		return nil
 	}
-	return &ResultJSON{
+	out := &ResultJSON{
 		Acquisition: EncodeAcquisition(r.Acquisition),
 		Repair:      EncodeRepair(r.Repair),
 		Repaired:    EncodeDatabase(r.Repaired),
 	}
+	if v := r.Validation; v != nil {
+		vj := &ValidationJSON{
+			Iterations:   v.Iterations,
+			Examined:     v.Examined,
+			Accepted:     v.Accepted,
+			Rejected:     v.Rejected,
+			AutoAccepted: v.AutoAccepted,
+			Suggestions:  v.Suggestions,
+		}
+		if v.Ledger != nil {
+			c := v.Ledger.Counters()
+			vj.Reverted = c.Reverted
+			vj.Superseded = c.Superseded
+		}
+		out.Validation = vj
+	}
+	return out
 }

@@ -21,6 +21,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/suggestions", s.handleSuggestions)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/suggestions/{sid}", s.handleSuggestionDecision)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/workbench", s.handleWorkbench)
 	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"dart/internal/repair"
 	"dart/internal/store"
 )
 
@@ -102,6 +103,11 @@ type Metrics struct {
 	recRequeued    uint64
 	recCompleted   uint64
 	recDropped     uint64
+	// Validation-session repair activity: decisions by outcome state, the
+	// proposal→decision latency, and a live open-suggestions sampler.
+	repairDecisions map[repair.Kind]uint64
+	decisionSeconds *histogram
+	openSuggestions func() int
 
 	// Runtime sampling hooks, overridden by the golden exposition test so
 	// /metrics output is reproducible; production uses the defaults.
@@ -114,15 +120,17 @@ type Metrics struct {
 // NewMetrics creates an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		finished:       make(map[JobState]uint64),
-		stages:         make(map[string]*histogram),
-		jobSeconds:     newHistogram(),
-		queueWait:      newHistogram(),
-		prepareSeconds: newHistogram(),
-		resolveSeconds: newHistogram(),
-		start:          time.Now(),
-		now:            time.Now,
-		goroutines:     runtime.NumGoroutine,
+		finished:        make(map[JobState]uint64),
+		stages:          make(map[string]*histogram),
+		jobSeconds:      newHistogram(),
+		queueWait:       newHistogram(),
+		prepareSeconds:  newHistogram(),
+		resolveSeconds:  newHistogram(),
+		repairDecisions: make(map[repair.Kind]uint64),
+		decisionSeconds: newHistogram(),
+		start:           time.Now(),
+		now:             time.Now,
+		goroutines:      runtime.NumGoroutine,
 		heapBytes: func() uint64 {
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
@@ -239,6 +247,29 @@ func (m *Metrics) Retry() {
 	m.retries++
 }
 
+// RepairEvent counts one suggestion-ledger transition. Decisions (accepts,
+// rejects) additionally observe the proposal→decision latency; proposals
+// themselves are not decisions and only show up through the open gauge.
+func (m *Metrics) RepairEvent(ev repair.Event) {
+	if ev.Kind == repair.KindProposed {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.repairDecisions[ev.Kind]++
+	if ev.Kind == repair.KindAccepted || ev.Kind == repair.KindRejected {
+		m.decisionSeconds.observe(float64(ev.Suggestion.DecidedAt-ev.Suggestion.ProposedAt) / 1e9)
+	}
+}
+
+// BindSuggestions attaches the live open-suggestions sampler exposed as
+// dart_suggestions_open.
+func (m *Metrics) BindSuggestions(f func() int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.openSuggestions = f
+}
+
 // Bind attaches the live gauges (queue depth, job worker count, and the
 // per-job branch-and-bound worker budget) the registry samples at
 // exposition time.
@@ -340,6 +371,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE dartd_repair_updates_total counter")
 	fmt.Fprintf(w, "dartd_repair_updates_total %d\n", m.updates)
 
+	fmt.Fprintln(w, "# HELP dart_repair_decisions_total Suggestion-ledger transitions in validation sessions, by outcome state.")
+	fmt.Fprintln(w, "# TYPE dart_repair_decisions_total counter")
+	for _, k := range []repair.Kind{repair.KindAccepted, repair.KindRejected, repair.KindReverted, repair.KindSuperseded} {
+		fmt.Fprintf(w, "dart_repair_decisions_total{state=%q} %d\n", string(k), m.repairDecisions[k])
+	}
+
 	fmt.Fprintln(w, "# HELP dartd_components_solved_total Violated connected components handed to a solver.")
 	fmt.Fprintln(w, "# TYPE dartd_components_solved_total counter")
 	fmt.Fprintf(w, "dartd_components_solved_total %d\n", m.compSolved)
@@ -411,6 +448,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintln(w, "# TYPE dartd_queue_depth gauge")
 		fmt.Fprintf(w, "dartd_queue_depth %d\n", m.queueDepth())
 	}
+	if m.openSuggestions != nil {
+		fmt.Fprintln(w, "# HELP dart_suggestions_open Suggestions awaiting an operator decision across live validation sessions.")
+		fmt.Fprintln(w, "# TYPE dart_suggestions_open gauge")
+		fmt.Fprintf(w, "dart_suggestions_open %d\n", m.openSuggestions())
+	}
 	if m.workerCount > 0 {
 		fmt.Fprintln(w, "# HELP dartd_workers Configured worker count.")
 		fmt.Fprintln(w, "# TYPE dartd_workers gauge")
@@ -440,6 +482,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP dart_resolve_seconds Prepared-problem re-solve latency (once per validation-loop iteration).")
 	fmt.Fprintln(w, "# TYPE dart_resolve_seconds histogram")
 	m.resolveSeconds.write(w, "dart_resolve_seconds", "")
+
+	fmt.Fprintln(w, "# HELP dart_decision_seconds Proposal-to-decision latency of validation-session suggestions.")
+	fmt.Fprintln(w, "# TYPE dart_decision_seconds histogram")
+	m.decisionSeconds.write(w, "dart_decision_seconds", "")
 
 	fmt.Fprintln(w, "# HELP dartd_job_seconds Whole-job latency (queue wait excluded).")
 	fmt.Fprintln(w, "# TYPE dartd_job_seconds histogram")

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dart/internal/repair"
 )
 
 // TestHistogramBucketsStayCumulative is the regression test for the
@@ -97,7 +99,15 @@ func TestMetricsGoldenExposition(t *testing.T) {
 	m.SpecRejected()
 	m.CacheHit()
 	m.CacheMiss()
+	m.RepairEvent(repair.Event{Kind: repair.KindProposed}) // not a decision: no counter, no latency
+	m.RepairEvent(repair.Event{Kind: repair.KindAccepted,
+		Suggestion: repair.Suggestion{ProposedAt: 0, DecidedAt: int64(1200 * time.Millisecond)}})
+	m.RepairEvent(repair.Event{Kind: repair.KindRejected,
+		Suggestion: repair.Suggestion{ProposedAt: 0, DecidedAt: int64(30 * time.Millisecond)}})
+	m.RepairEvent(repair.Event{Kind: repair.KindReverted})
+	m.RepairEvent(repair.Event{Kind: repair.KindSuperseded})
 	m.Bind(func() int { return 4 }, 8, 2)
+	m.BindSuggestions(func() int { return 3 })
 
 	var buf bytes.Buffer
 	m.WritePrometheus(&buf)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dart/internal/repair"
 	"dart/internal/store"
 )
 
@@ -32,6 +33,10 @@ type persistedJob struct {
 	Error       string          `json:"error,omitempty"`
 	TraceID     string          `json:"trace_id,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`
+	// RepairEvents is the job's suggestion-event history (validation
+	// sessions only): the full ledger journal, so a snapshot alone can
+	// restore an interrupted session's queue and audit trail.
+	RepairEvents []repair.Event `json:"repair_events,omitempty"`
 }
 
 // storeState is the snapshot blob handed to JobStore.WriteSnapshot: the
@@ -152,6 +157,33 @@ func (q *Queue) noteSpansFlushed(job *Job, traceID string, spans int) {
 	})
 }
 
+// noteRepairEvent folds one suggestion-ledger event into the job's
+// durable history: appended to the in-memory slice (snapshots carry it)
+// and journaled as one RecRepair frame. It is the ledger observer's
+// landing point, called from session goroutines while the ledger's own
+// lock is held — safe because no queue path ever takes a ledger mutex
+// under q.mu.
+func (q *Queue) noteRepairEvent(job *Job, ev repair.Event) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job.RepairEvents = append(job.RepairEvents, ev)
+	if q.store == nil {
+		return
+	}
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		q.reportStoreErrorLocked(err)
+		return
+	}
+	q.persistLocked(&store.Record{
+		Type:     store.RecRepair,
+		UnixNano: ev.At,
+		JobID:    job.ID,
+		State:    string(ev.Kind),
+		Blob:     blob,
+	})
+}
+
 // maybeSnapshotLocked writes a snapshot (absorbing and truncating the
 // log) once the configured number of appends has accumulated.
 func (q *Queue) maybeSnapshotLocked() {
@@ -186,6 +218,9 @@ func (q *Queue) stateLocked() storeState {
 			FinishedAt:  unixNano(job.FinishedAt),
 			Error:       job.Error,
 			TraceID:     job.TraceID,
+		}
+		if len(job.RepairEvents) > 0 {
+			pj.RepairEvents = append([]repair.Event(nil), job.RepairEvents...)
 		}
 		if job.Result != nil {
 			if raw, err := json.Marshal(job.Result); err == nil {
@@ -274,6 +309,9 @@ func RecoverQueue(capacity int, st store.JobStore, snapshotEvery int, onStoreErr
 				FinishedAt:  nanoTime(pj.FinishedAt),
 				Error:       pj.Error,
 				TraceID:     pj.TraceID,
+			}
+			if len(pj.RepairEvents) > 0 {
+				job.RepairEvents = append([]repair.Event(nil), pj.RepairEvents...)
 			}
 			if len(pj.Result) > 0 {
 				var res ResultJSON
@@ -391,5 +429,19 @@ func (q *Queue) applyRecordLocked(rec *store.Record, stats *RecoveryStats) {
 	case store.RecSpans:
 		// Audit-only: spans were flushed to the exporter; nothing to fold
 		// into queue state.
+	case store.RecRepair:
+		job, ok := q.jobs[rec.JobID]
+		if !ok {
+			stats.Orphans++
+			return
+		}
+		var ev repair.Event
+		if err := json.Unmarshal(rec.Blob, &ev); err != nil {
+			stats.Orphans++
+			return
+		}
+		// The event history survives requeues: a re-run validation session
+		// restores its ledger from it instead of starting over.
+		job.RepairEvents = append(job.RepairEvents, ev)
 	}
 }

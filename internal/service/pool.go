@@ -53,6 +53,11 @@ type Pool struct {
 	Workers int
 	// Run processes one job (default PipelineRunner(Metrics)).
 	Run Runner
+	// RunJob, when non-nil, overrides Run with a job-aware processor; the
+	// server routes validation-session jobs through it (they need the Job
+	// handle to publish their suggestion ledger). Plain jobs still flow
+	// through Run.
+	RunJob func(ctx context.Context, job *Job) (*ResultJSON, error)
 	// Metrics receives counters and latencies (optional).
 	Metrics *Metrics
 	// JobTimeout is the default per-job deadline (default 60s); a job's
@@ -181,7 +186,11 @@ func (p *Pool) runJob(job *Job) {
 		if wait, first := p.Queue.setRunning(job); first && p.Metrics != nil {
 			p.Metrics.QueueWait(wait)
 		}
-		res, err = p.Run(ctx, job.Spec)
+		if p.RunJob != nil {
+			res, err = p.RunJob(ctx, job)
+		} else {
+			res, err = p.Run(ctx, job.Spec)
+		}
 		if err == nil || !IsTransient(err) || attempt >= maxAttempts || ctx.Err() != nil {
 			break
 		}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dart/internal/repair"
 	"dart/internal/store"
 )
 
@@ -46,6 +47,11 @@ type JobSpec struct {
 	SolverWorkers int `json:"solver_workers,omitempty"`
 	// TimeoutMS overrides the server's per-job deadline, in milliseconds.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Validate runs the job as an interactive validation session: the
+	// computed repair becomes a suggestion queue the operator works through
+	// GET/POST /v1/jobs/{id}/suggestions (or the workbench page), and the
+	// job only finishes once every suggestion is decided.
+	Validate bool `json:"validate,omitempty"`
 }
 
 // Job is one unit of acquisition-and-repair work. All fields are guarded by
@@ -62,6 +68,13 @@ type Job struct {
 	Result      *ResultJSON
 	// TraceID links the job to its trace (empty when tracing is off).
 	TraceID string
+	// Ledger is the live suggestion ledger of a running validation session
+	// (nil otherwise); suggestion handlers decide against it.
+	Ledger *repair.Ledger
+	// RepairEvents is the job's durable suggestion-event history, replayed
+	// from the store on recovery and appended to as the session runs. A
+	// resumed session restores its ledger from this slice.
+	RepairEvents []repair.Event
 }
 
 // JobView is a consistent JSON snapshot of one job.
@@ -272,6 +285,51 @@ func (q *Queue) setTrace(job *Job, traceID string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	job.TraceID = traceID
+}
+
+// setLedger publishes (or, with nil, retires) a validation session's live
+// ledger so suggestion handlers can decide against it.
+func (q *Queue) setLedger(job *Job, l *repair.Ledger) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job.Ledger = l
+}
+
+// sessionOf returns the job plus its live ledger (nil when no validation
+// session is running). Callers use the ledger after the lock is released:
+// the ledger has its own mutex and a retired ledger fails decisions with
+// ErrClosed, so no queue state is touched through it.
+func (q *Queue) sessionOf(id string) (job *Job, ledger *repair.Ledger, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok = q.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	return job, job.Ledger, true
+}
+
+// repairEventsOf snapshots a job's durable suggestion-event history.
+func (q *Queue) repairEventsOf(job *Job) []repair.Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]repair.Event(nil), job.RepairEvents...)
+}
+
+// OpenSuggestions totals the open suggestions across every live validation
+// session; metrics expose it as dart_suggestions_open. Ledger open counts
+// are atomics, so sampling them under q.mu cannot contend with a ledger's
+// own lock.
+func (q *Queue) OpenSuggestions() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	total := 0
+	for _, job := range q.jobs {
+		if job.Ledger != nil {
+			total += job.Ledger.OpenCount()
+		}
+	}
+	return total
 }
 
 // finish records a job's terminal state. The result record is appended

@@ -56,24 +56,28 @@ type Config struct {
 
 // Server is the dartd service: queue + pool + metrics behind an HTTP API.
 //
-//	POST /v1/jobs             submit a document (202, JobView)
-//	GET  /v1/jobs             list jobs (results omitted)
-//	GET  /v1/jobs/{id}        one job, result included when terminal
-//	GET  /v1/jobs/{id}/trace  the job's finished span tree (tracing only)
-//	GET  /debug/traces        the N slowest recent traces (tracing only)
-//	GET  /debug/pprof/        runtime profiles (Config.EnablePprof only)
-//	GET  /healthz             liveness; 503 while draining
-//	GET  /metrics             Prometheus text format
+//	POST /v1/jobs                        submit a document (202, JobView)
+//	GET  /v1/jobs                        list jobs (results omitted)
+//	GET  /v1/jobs/{id}                   one job, result included when terminal
+//	GET  /v1/jobs/{id}/trace             the job's finished span tree (tracing only)
+//	GET  /v1/jobs/{id}/suggestions       suggestion records of a validation session
+//	POST /v1/jobs/{id}/suggestions/{sid} accept/reject/revert one suggestion
+//	GET  /v1/jobs/{id}/workbench         embedded operator workbench page
+//	GET  /debug/traces                   the N slowest recent traces (tracing only)
+//	GET  /debug/pprof/                   runtime profiles (Config.EnablePprof only)
+//	GET  /healthz                        liveness; 503 while draining
+//	GET  /metrics                        Prometheus text format
 type Server struct {
-	queue       *Queue
-	pool        *Pool
-	metrics     *Metrics
-	tracer      *obs.Tracer
-	logger      *slog.Logger
-	enablePprof bool
-	mux         *http.ServeMux
-	draining    atomic.Bool
-	recovery    *RecoveryStats
+	queue         *Queue
+	pool          *Pool
+	metrics       *Metrics
+	tracer        *obs.Tracer
+	logger        *slog.Logger
+	enablePprof   bool
+	mux           *http.ServeMux
+	draining      atomic.Bool
+	recovery      *RecoveryStats
+	solverWorkers int
 }
 
 // New wires a stopped server; call Start before serving. With a
@@ -81,11 +85,12 @@ type Server struct {
 // the store cannot be read.
 func New(cfg Config) (*Server, error) {
 	s := &Server{
-		metrics:     NewMetrics(),
-		tracer:      cfg.Tracer,
-		logger:      cfg.Logger,
-		enablePprof: cfg.EnablePprof,
-		mux:         http.NewServeMux(),
+		metrics:       NewMetrics(),
+		tracer:        cfg.Tracer,
+		logger:        cfg.Logger,
+		enablePprof:   cfg.EnablePprof,
+		mux:           http.NewServeMux(),
+		solverWorkers: cfg.SolverWorkers,
 	}
 	if cfg.Store == nil {
 		s.queue = NewQueue(cfg.QueueCapacity)
@@ -134,9 +139,18 @@ func New(cfg Config) (*Server, error) {
 		run = CachingRunner(run, cfg.ResultCacheSize, s.metrics)
 	}
 	s.pool = &Pool{
-		Queue:       s.queue,
-		Workers:     cfg.Workers,
-		Run:         run,
+		Queue:   s.queue,
+		Workers: cfg.Workers,
+		Run:     run,
+		// Validation-session jobs need the Job handle (to publish their
+		// ledger) and must bypass the result cache: their outcome depends
+		// on live operator decisions, not the spec alone.
+		RunJob: func(ctx context.Context, job *Job) (*ResultJSON, error) {
+			if job.Spec.Validate {
+				return s.runValidation(ctx, job)
+			}
+			return run(ctx, job.Spec)
+		},
 		Metrics:     s.metrics,
 		JobTimeout:  cfg.JobTimeout,
 		MaxAttempts: cfg.MaxAttempts,
@@ -149,6 +163,7 @@ func New(cfg Config) (*Server, error) {
 		bb = runtime.GOMAXPROCS(0)
 	}
 	s.metrics.Bind(s.queue.Depth, s.pool.workerCount(), bb)
+	s.metrics.BindSuggestions(s.queue.OpenSuggestions)
 	s.routes()
 	return s, nil
 }

@@ -110,7 +110,7 @@ func decodeBody(body []byte) (*Record, error) {
 	}
 	r := &Record{Type: RecordType(body[0])}
 	c.off = 1
-	if r.Type < RecSubmit || r.Type > RecSpans {
+	if r.Type < RecSubmit || r.Type > RecRepair {
 		return nil, fmt.Errorf("%w: unknown record type %d", errCorrupt, body[0])
 	}
 	var err error

@@ -40,6 +40,13 @@ const (
 	// exporter; Blob carries a small JSON summary. Replay treats it as an
 	// audit-only frame.
 	RecSpans
+	// RecRepair records one suggestion-ledger event of a validation
+	// session: State carries the event kind (proposed, accepted, rejected,
+	// reverted, superseded), Blob the event JSON with the full suggestion
+	// snapshot. Replay folds these into the job's durable decision history
+	// so an interrupted session resumes with its queue and audit trail
+	// intact.
+	RecRepair
 )
 
 // String names the record type for logs and tests.
@@ -53,6 +60,8 @@ func (t RecordType) String() string {
 		return "result"
 	case RecSpans:
 		return "spans"
+	case RecRepair:
+		return "repair"
 	default:
 		return "unknown"
 	}

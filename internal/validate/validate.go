@@ -8,6 +8,15 @@
 // accepted. Values validated in earlier iterations are never presented
 // again.
 //
+// Since the auditable-repair refactor the loop is non-destructive: the
+// acquired database is never mutated. Every candidate update becomes a
+// repair.Suggestion in a repair.Ledger (proposed → accepted/rejected, with
+// revert and supersede transitions, who/when audit fields, and a replayable
+// event journal), decisions are made by a generic repair.Decider — the
+// stdin Operator is one driver of it, the dartd HTTP workbench another —
+// and the final repaired database is materialized through a repair.Overlay
+// from base + pinned decisions.
+//
 // The loop grounds the constraint system exactly once: Run prepares a
 // core.Problem up front (or adopts one via Session.Problem) and every
 // iteration re-solves the prepared problem under the accumulated pins, so
@@ -20,7 +29,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -30,6 +38,7 @@ import (
 	"dart/internal/milp"
 	"dart/internal/obs"
 	"dart/internal/relational"
+	"dart/internal/repair"
 )
 
 // ErrInputClosed reports that the operator's input stream ended before a
@@ -131,12 +140,85 @@ func (o *InteractiveOperator) inputClosed() error {
 	return ErrInputClosed
 }
 
+// OperatorDecider drives a suggestion ledger with a per-update Operator:
+// the stdin and oracle operators become one Decider among others. Each
+// open suggestion is presented in review order; the verdict is applied to
+// the ledger only after the context is re-checked, so a decision arriving
+// after cancellation is discarded rather than partially applied.
+type OperatorDecider struct {
+	Operator Operator
+	// Who is recorded as the deciding identity (default "operator").
+	Who string
+}
+
+// Decide implements repair.Decider.
+func (d *OperatorDecider) Decide(ctx context.Context, l *repair.Ledger, open []repair.Suggestion) error {
+	for _, sg := range open {
+		u, err := suggestionUpdate(sg)
+		if err != nil {
+			return err
+		}
+		dec, rerr := d.Operator.Review(u)
+		if rerr != nil {
+			return fmt.Errorf("validate: operator review: %w", rerr)
+		}
+		// Decide-then-check: the review may have blocked (a human at a
+		// terminal) past the session's deadline or cancellation. Checking
+		// the context *before* touching the ledger guarantees a late
+		// verdict is never applied — the round aborts with no partial
+		// decision recorded.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if dec.Accepted {
+			_, err = l.Accept(sg.ID, d.Who, sg.Seq)
+		} else {
+			_, err = l.Reject(sg.ID, dec.ActualValue, d.Who, sg.Seq)
+		}
+		if err != nil {
+			return fmt.Errorf("validate: recording decision on %s: %w", &sg, err)
+		}
+	}
+	return nil
+}
+
+// suggestionUpdate reconstructs the core.Update a suggestion was built
+// from; measures are numeric, so the float round-trip through the domain
+// is exact.
+func suggestionUpdate(sg repair.Suggestion) (core.Update, error) {
+	dom, err := relational.ParseDomain(sg.Domain)
+	if err != nil {
+		return core.Update{}, fmt.Errorf("validate: suggestion %s: %w", &sg, err)
+	}
+	oldV, err := relational.FromFloat(sg.Old, dom)
+	if err != nil {
+		return core.Update{}, fmt.Errorf("validate: suggestion %s: %w", &sg, err)
+	}
+	newV, err := relational.FromFloat(sg.New, dom)
+	if err != nil {
+		return core.Update{}, fmt.Errorf("validate: suggestion %s: %w", &sg, err)
+	}
+	return core.Update{Item: sg.Item(), Old: oldV, New: newV}, nil
+}
+
 // Session drives one document's validation loop.
 type Session struct {
 	DB          *relational.Database
 	Constraints []*aggrcons.Constraint
 	Solver      core.Solver
-	Operator    Operator
+	// Operator validates proposed updates on a per-update interface; it is
+	// wrapped into an OperatorDecider. Ignored when Decider is set.
+	Operator Operator
+	// Decider decides open suggestions round by round (the generic
+	// interface; the HTTP workbench and journal replay plug in here).
+	Decider repair.Decider
+	// Ledger, when non-nil, is adopted instead of a fresh one — the resume
+	// path: a ledger restored from a journal re-proposes its open queue
+	// idempotently and keeps its decision history and counters.
+	Ledger *repair.Ledger
+	// Who is the audit identity recorded for Operator decisions (default
+	// "operator"); ignored with a custom Decider.
+	Who string
 	// Problem, when non-nil, supplies an already-prepared repair problem
 	// for (DB, Constraints); Run prepares one otherwise. Sharing a problem
 	// across sessions of the same database additionally shares the
@@ -171,11 +253,13 @@ type Session struct {
 
 // Outcome reports the finished loop.
 type Outcome struct {
-	// Repaired is the final consistent database.
+	// Repaired is the final consistent database, materialized through the
+	// overlay; the session's input database is never mutated.
 	Repaired *relational.Database
 	// Final is the accepted repair (operator-corrected values included).
 	Final *core.Repair
-	// Iterations is the number of repair computations performed.
+	// Iterations is the number of repair computations performed (resumed
+	// sessions count the restored rounds too).
 	Iterations int
 	// Examined counts operator decisions (the paper's human-effort metric:
 	// values compared against the source document).
@@ -194,6 +278,11 @@ type Outcome struct {
 	SolverNodes int
 	// Forced is the final set of operator-pinned values.
 	Forced map[core.Item]float64
+	// Ledger is the session's suggestion ledger: full audit history and
+	// replayable event journal.
+	Ledger *repair.Ledger
+	// Suggestions snapshots every suggestion record at finish, in ID order.
+	Suggestions []repair.Suggestion
 }
 
 // observe reports one timed stage to the session's observer, if any.
@@ -213,8 +302,20 @@ func (s *Session) Run() (*Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := &Outcome{Forced: map[core.Item]float64{}}
-	validated := map[core.Item]bool{}
+	ledger := s.Ledger
+	if ledger == nil {
+		ledger = repair.NewLedger()
+	}
+	decider := s.Decider
+	if decider == nil {
+		if s.Operator == nil {
+			return nil, errors.New("validate: session needs an Operator or a Decider")
+		}
+		decider = &OperatorDecider{Operator: s.Operator, Who: s.Who}
+	}
+	// A restored ledger resumes its round numbering so re-proposed
+	// suggestions match their journaled iteration fields.
+	out := &Outcome{Iterations: ledger.MaxIteration()}
 
 	// Ground once: the prepared problem carries the linear system, the
 	// component decomposition, and the per-item ground-constraint counts
@@ -240,43 +341,47 @@ func (s *Session) Run() (*Outcome, error) {
 
 	for out.Iterations < maxIters {
 		out.Iterations++
-		done, res, err := s.iterate(ctx, prob, out, validated, occOf)
+		done, res, err := s.iterate(ctx, prob, ledger, decider, out, occOf)
 		if err != nil {
 			return nil, err
 		}
 		if done {
-			return s.finish(out, prob, statsBefore, res)
+			return s.finish(out, prob, statsBefore, res, ledger)
 		}
 	}
 	return nil, fmt.Errorf("validate: no accepted repair within %d iterations", maxIters)
 }
 
-// iterate runs one solve-review round of the loop. It reports done=true when
-// every update of the proposed repair has been validated (the repair is
-// accepted, res carries it). When tracing is active each round becomes one
-// "validate.iteration" span — carrying the solve beneath it plus counters for
-// the round's accepted/rejected/auto-accepted decisions — so a deferred End
-// covers every exit path of the round uniformly.
-func (s *Session) iterate(ctx context.Context, prob *core.Problem, out *Outcome, validated map[core.Item]bool, occOf func(core.Item) int) (done bool, res *core.Result, err error) {
+// iterate runs one solve-review round of the loop. It reports done=true
+// when every suggestion of the proposed repair is decided without a reject
+// or revert this round (the repair is accepted, res carries it). When
+// tracing is active each round becomes one "validate.iteration" span —
+// carrying the solve beneath it, counters for the round's decisions, and
+// one "repair.decision" child span per decision landed this round — so a
+// deferred End covers every exit path of the round uniformly.
+func (s *Session) iterate(ctx context.Context, prob *core.Problem, ledger *repair.Ledger, decider repair.Decider, out *Outcome, occOf func(core.Item) int) (done bool, res *core.Result, err error) {
 	if span := obs.FromContext(ctx).StartChild("validate.iteration"); span != nil {
 		span.SetInt("iteration", out.Iterations)
 		ctx = obs.ContextWithSpan(ctx, span)
-		accepted, rejected, auto := out.Accepted, out.Rejected, out.AutoAccepted
+		c0 := ledger.Counters()
 		defer func() {
-			span.SetInt("accepted", out.Accepted-accepted)
-			span.SetInt("rejected", out.Rejected-rejected)
-			span.SetInt("auto_accepted", out.AutoAccepted-auto)
+			c1 := ledger.Counters()
+			span.SetInt("accepted", c1.Accepted-c0.Accepted)
+			span.SetInt("rejected", c1.Rejected-c0.Rejected)
+			span.SetInt("auto_accepted", c1.AutoAccepted-c0.AutoAccepted)
+			span.SetInt("reverted", c1.Reverted-c0.Reverted)
 			if err != nil {
 				span.SetStr("error", err.Error())
 			}
 			span.End()
 		}()
 	}
+	pins := ledger.Pins()
 	start := time.Now()
 	if s.DisablePreparedReuse {
-		res, err = core.FindRepairCtx(ctx, s.Solver, s.DB, s.Constraints, out.Forced)
+		res, err = core.FindRepairCtx(ctx, s.Solver, s.DB, s.Constraints, pins)
 	} else {
-		res, err = s.Solver.SolveProblem(ctx, prob, out.Forced)
+		res, err = s.Solver.SolveProblem(ctx, prob, pins)
 	}
 	s.observe("resolve", start)
 	if err != nil {
@@ -286,12 +391,9 @@ func (s *Session) iterate(ctx context.Context, prob *core.Problem, out *Outcome,
 	if res.Status != milp.StatusOptimal {
 		return false, nil, fmt.Errorf("validate: repair computation ended with status %v", res.Status)
 	}
-	// Pending updates, ordered by descending constraint participation
-	// (Section 6.3's display order), ties broken by item order.
-	var pending []core.Update
 	var reliableItems map[core.Item]float64
 	if s.AutoAcceptReliable {
-		opts := core.EnumerateOptions{Forced: out.Forced}
+		opts := core.EnumerateOptions{Forced: pins}
 		var rel []core.Reliability
 		if s.DisablePreparedReuse {
 			rel, err = core.ReliableValues(s.DB, s.Constraints, opts)
@@ -308,62 +410,101 @@ func (s *Session) iterate(ctx context.Context, prob *core.Problem, out *Outcome,
 			}
 		}
 	}
+	// Sync the round's candidate updates into the ledger: cells with a
+	// live decision are already pinned and never re-presented; everything
+	// else becomes (or stays) an open suggestion.
+	decided := ledger.DecidedItems()
+	var props []repair.Proposal
 	for _, u := range res.Repair.Updates {
-		if validated[u.Item] {
+		if decided[u.Item] {
 			continue
 		}
-		if v, ok := reliableItems[u.Item]; ok && v == u.New.AsFloat() {
-			// The update is forced by every card-minimal repair: accept
-			// it without bothering the operator.
-			validated[u.Item] = true
-			out.Forced[u.Item] = v
-			out.AutoAccepted++
-			continue
-		}
-		pending = append(pending, u)
+		oldF, newF := u.Old.AsFloat(), u.New.AsFloat()
+		props = append(props, repair.Proposal{
+			Item:        u.Item,
+			Domain:      u.New.Kind().String(),
+			Old:         oldF,
+			New:         newF,
+			Occurrences: occOf(u.Item),
+			Confidence:  repair.Confidence(oldF, newF),
+			Evidence:    prob.Evidence(u.Item, 3),
+		})
 	}
-	sort.SliceStable(pending, func(i, j int) bool {
-		oi, oj := occOf(pending[i].Item), occOf(pending[j].Item)
-		return oi > oj
-	})
-	if len(pending) == 0 {
-		// Every update of the proposed repair has been validated: the
+	open := ledger.SyncRound(out.Iterations, props)
+	if len(reliableItems) > 0 {
+		for _, sg := range open {
+			if v, ok := reliableItems[sg.Item()]; ok && v == sg.New {
+				// The update is forced by every card-minimal repair: accept
+				// it without bothering the operator.
+				if _, aerr := ledger.Accept(sg.ID, "auto:reliable", sg.Seq); aerr != nil {
+					return false, nil, aerr
+				}
+			}
+		}
+		open = ledger.Open()
+	}
+	if len(open) == 0 {
+		// Every update of the proposed repair carries a decision: the
 		// repair is accepted.
 		return true, res, nil
 	}
-	review := len(pending)
+	review := len(open)
 	if s.ReviewPerIteration > 0 && s.ReviewPerIteration < review {
 		review = s.ReviewPerIteration
 	}
-	allAccepted := true
-	for _, u := range pending[:review] {
-		d, rerr := s.Operator.Review(u)
-		if rerr != nil {
-			err = fmt.Errorf("validate: operator review: %w", rerr)
-			return false, nil, err
-		}
-		out.Examined++
-		validated[u.Item] = true
-		if d.Accepted {
-			out.Accepted++
-			out.Forced[u.Item] = u.New.AsFloat()
-		} else {
-			out.Rejected++
-			allAccepted = false
-			out.Forced[u.Item] = d.ActualValue
+	cBefore := ledger.Counters()
+	jBefore := ledger.JournalLen()
+	derr := decider.Decide(ctx, ledger, open[:review])
+	if span := obs.FromContext(ctx); span != nil {
+		for _, ev := range ledger.JournalSince(jBefore) {
+			if ev.Kind == repair.KindProposed {
+				continue
+			}
+			d := span.StartChild("repair.decision")
+			d.SetInt("suggestion", ev.Suggestion.ID)
+			d.SetStr("state", string(ev.Kind))
+			if by := ev.Suggestion.DecidedBy; by != "" {
+				d.SetStr("by", by)
+			}
+			d.End()
 		}
 	}
-	return allAccepted && review == len(pending), res, nil
+	if derr != nil {
+		return false, nil, derr
+	}
+	cAfter := ledger.Counters()
+	// Done only when the queue drained with nothing but accepts this
+	// round: a reject or revert changed the pin set, so the repair must be
+	// recomputed; an undecided remainder (ReviewPerIteration) re-solves
+	// under the new pins first, exactly the paper's early-restart choice.
+	done = ledger.OpenCount() == 0 &&
+		cAfter.Rejected == cBefore.Rejected &&
+		cAfter.Reverted == cBefore.Reverted
+	return done, res, nil
 }
 
-// finish verifies the accepted repair and closes the outcome's counters.
-func (s *Session) finish(out *Outcome, prob *core.Problem, statsBefore core.ProblemStats, res *core.Result) (*Outcome, error) {
-	repaired, err := core.VerifyRepairs(s.DB, s.Constraints, res.Repair, 1e-6)
+// finish verifies the accepted repair row-by-row on the prepared problem,
+// materializes the repaired database through the overlay (the session's
+// input database stays untouched), and closes the outcome's counters from
+// the ledger.
+func (s *Session) finish(out *Outcome, prob *core.Problem, statsBefore core.ProblemStats, res *core.Result, ledger *repair.Ledger) (*Outcome, error) {
+	if err := prob.VerifyRepair(res.Repair, 1e-6); err != nil {
+		return nil, err
+	}
+	repaired, err := repair.NewOverlay(s.DB, ledger).Materialize()
 	if err != nil {
 		return nil, err
 	}
 	out.Repaired = repaired
 	out.Final = res.Repair
+	c := ledger.Counters()
+	out.Examined = c.Examined
+	out.Accepted = c.Accepted
+	out.Rejected = c.Rejected
+	out.AutoAccepted = c.AutoAccepted
+	out.Forced = ledger.Pins()
+	out.Ledger = ledger
+	out.Suggestions = ledger.List()
 	stats := prob.Stats()
 	out.ComponentsSolved = stats.ComponentsSolved - statsBefore.ComponentsSolved
 	out.ComponentsReused = stats.ComponentsReused - statsBefore.ComponentsReused

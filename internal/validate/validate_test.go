@@ -1,12 +1,14 @@
 package validate_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
 
 	"dart/internal/core"
 	"dart/internal/relational"
+	"dart/internal/repair"
 	"dart/internal/runningex"
 	"dart/internal/validate"
 )
@@ -335,4 +337,50 @@ type failingOperator struct{ t *testing.T }
 func (f *failingOperator) Review(u core.Update) (validate.Decision, error) {
 	f.t.Errorf("operator consulted unexpectedly for %v", u)
 	return validate.Decision{Accepted: true}, nil
+}
+
+// cancellingOperator answers like its inner operator but cancels the session
+// context *during* the review — modelling a human whose verdict lands after
+// the session was cancelled (deadline hit while the prompt sat on screen).
+type cancellingOperator struct {
+	cancel context.CancelFunc
+	inner  validate.Operator
+}
+
+func (c *cancellingOperator) Review(u core.Update) (validate.Decision, error) {
+	c.cancel()
+	return c.inner.Review(u)
+}
+
+func TestLateDecisionAfterCancellationIsNotApplied(t *testing.T) {
+	// Regression: a decision arriving after context cancellation must not be
+	// applied. The loop must abort with the context error and leave the
+	// ledger with zero decisions and zero pins — not a half-recorded verdict.
+	truth := runningex.CorrectDatabase()
+	acquired := runningex.AcquiredDatabase()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ledger := repair.NewLedger()
+	s := &validate.Session{
+		DB:          acquired,
+		Constraints: runningex.Constraints(),
+		Solver:      &core.MILPSolver{},
+		Operator:    &cancellingOperator{cancel: cancel, inner: &validate.OracleOperator{Truth: truth}},
+		Ledger:      ledger,
+		Context:     ctx,
+	}
+	if _, err := s.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+	c := ledger.Counters()
+	if c.Examined != 0 || c.Accepted != 0 || c.Rejected != 0 {
+		t.Fatalf("late decision was applied: counters = %+v", c)
+	}
+	if pins := ledger.Pins(); len(pins) != 0 {
+		t.Fatalf("late decision pinned values: %v", pins)
+	}
+	// The suggestion itself must still be open (proposed, undecided).
+	if ledger.OpenCount() == 0 {
+		t.Fatal("suggestion queue drained despite the aborted round")
+	}
 }

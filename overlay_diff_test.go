@@ -1,0 +1,99 @@
+package dart_test
+
+// Differential tests for the auditable-repair refactor: the validation loop
+// no longer mutates the acquired database — it records every decision in a
+// repair.Ledger and materializes the final database through a repair.Overlay.
+// These tests pin the refactor's contract: for every solver and corpus
+// document, the overlay-materialized database is byte-identical (relational
+// text format) to the pre-refactor destructive path (apply the accepted
+// repair to a clone), and the session's input database comes out untouched.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dart/internal/relational"
+	"dart/internal/runningex"
+	"dart/internal/validate"
+
+	"dart/internal/core"
+)
+
+// dbBytes flattens a database to its canonical text serialization.
+func dbBytes(t *testing.T, db *relational.Database) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := db.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestOverlayMatchesDestructiveApply: overlay materialization vs. the
+// destructive Repair.Apply path, across the whole corpus and every solver.
+func TestOverlayMatchesDestructiveApply(t *testing.T) {
+	for _, doc := range diffCorpus() {
+		for _, sv := range diffSolvers() {
+			t.Run(fmt.Sprintf("%s/%s", doc.name, sv.name), func(t *testing.T) {
+				before := dbBytes(t, doc.db)
+				out, err := (&validate.Session{
+					DB:          doc.db,
+					Constraints: runningex.Constraints(),
+					Solver:      sv.mk(),
+					Operator:    &validate.OracleOperator{Truth: doc.truth},
+				}).Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The input database is immutable through the whole session.
+				if after := dbBytes(t, doc.db); after != before {
+					t.Fatalf("session mutated the acquired database:\n--- before ---\n%s\n--- after ---\n%s", before, after)
+				}
+				// Destructive baseline: the accepted repair applied in place
+				// to a clone — exactly what the loop did before the refactor.
+				destructive, err := out.Final.Applied(doc.db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := dbBytes(t, destructive)
+				got := dbBytes(t, out.Repaired)
+				if got != want {
+					t.Errorf("overlay-materialized database diverged from destructive apply:\n--- overlay ---\n%s\n--- destructive ---\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestOverlayMatchesDestructiveWithRejections drives multi-iteration
+// sessions (ReviewPerIteration=1 forces re-solves under growing pin sets):
+// operator-corrected values flow through ledger pins, and the overlay must
+// still equal applying the final repair destructively.
+func TestOverlayMatchesDestructiveWithRejections(t *testing.T) {
+	for _, doc := range diffCorpus() {
+		t.Run(doc.name, func(t *testing.T) {
+			out, err := (&validate.Session{
+				DB:                 doc.db,
+				Constraints:        runningex.Constraints(),
+				Solver:             &core.MILPSolver{},
+				Operator:           &validate.OracleOperator{Truth: doc.truth},
+				ReviewPerIteration: 1,
+			}).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			destructive, err := out.Final.Applied(doc.db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := dbBytes(t, out.Repaired), dbBytes(t, destructive); got != want {
+				t.Errorf("overlay diverged after rejection-driven re-solves:\n--- overlay ---\n%s\n--- destructive ---\n%s", got, want)
+			}
+			// Sanity: the overlay converged to the ground truth too.
+			if got, want := dbBytes(t, out.Repaired), dbBytes(t, doc.truth); got != want {
+				t.Errorf("overlay did not converge to truth:\n%s", got)
+			}
+		})
+	}
+}
