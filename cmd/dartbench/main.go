@@ -21,6 +21,8 @@ import (
 	"testing"
 	"time"
 
+	"dart/internal/analysis"
+	"dart/internal/analysis/passes"
 	"dart/internal/core"
 	"dart/internal/experiments"
 	"dart/internal/milp"
@@ -192,6 +194,34 @@ func writeBenchJSON(path string) error {
 				}
 				if n != frames {
 					b.Fatalf("replayed %d frames, want %d", n, frames)
+				}
+			}
+		}},
+		{"VetTree", func(b *testing.B) {
+			// Load once outside the timer: the benchmark isolates analysis
+			// cost (CFG + dataflow over every scoped package), and repeat
+			// loads are already memoized by the loader cache.
+			pkgs, err := analysis.Load(".", "./...")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for _, pkg := range pkgs {
+					active := passes.Active(pkg.ImportPath)
+					if len(active) == 0 {
+						continue
+					}
+					fs, err := analysis.Run([]*analysis.Package{pkg}, active)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += len(fs)
+				}
+				if total != 0 {
+					b.Fatalf("vet over the tree found %d findings, want 0", total)
 				}
 			}
 		}},

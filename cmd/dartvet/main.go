@@ -5,21 +5,23 @@
 //
 // Code mode (default):
 //
-//	dartvet [-novet] [-json] [packages ...]
+//	dartvet [-novet] [-format text|json|github] [packages ...]
 //
 // loads the named packages (default ./...) with full type information and
-// applies each pass to the packages in its scope:
-//
-//	ctxloop    internal/core, internal/milp, internal/service
-//	floatcmp   internal/core, internal/milp
-//	lockcheck  internal/milp, internal/repair, internal/service, internal/store
-//	retshim    internal/core
+// applies each registered pass (see internal/analysis/passes for the
+// catalog and per-pass package scopes) to the packages in its scope.
+// -format github emits workflow-command lines (::error file=...) that
+// GitHub Actions turns into inline PR annotations; -json is kept as an
+// alias for -format json.
 //
 // Unless -novet is given it also execs "go vet" on the same patterns, so a
 // single dartvet invocation is the whole lint story. Findings may be
 // suppressed with a reasoned directive:
 //
 //	//dartvet:allow ctxloop -- eviction loop, bounded by c.cap
+//
+// A directive that suppresses nothing is itself reported under the
+// "staleallow" pseudo-analyzer, so allows cannot outlive their finding.
 //
 // Spec mode:
 //
@@ -42,55 +44,45 @@ import (
 	"strings"
 
 	"dart/internal/analysis"
-	"dart/internal/analysis/ctxloop"
-	"dart/internal/analysis/floatcmp"
-	"dart/internal/analysis/lockcheck"
-	"dart/internal/analysis/retshim"
+	"dart/internal/analysis/passes"
 	"dart/internal/analysis/specvet"
 	"dart/internal/metadata"
 )
-
-// scopes maps each analyzer to the import-path suffixes it runs on. A pass
-// runs on a package when the package's import path ends in one of the
-// suffixes; an empty list means every loaded package.
-var scopes = map[string][]string{
-	ctxloop.Analyzer.Name:   {"internal/core", "internal/milp", "internal/service"},
-	floatcmp.Analyzer.Name:  {"internal/core", "internal/milp"},
-	lockcheck.Analyzer.Name: {"internal/milp", "internal/repair", "internal/service", "internal/store"},
-	retshim.Analyzer.Name:   {"internal/core"},
-}
-
-var analyzers = []*analysis.Analyzer{
-	ctxloop.Analyzer,
-	floatcmp.Analyzer,
-	lockcheck.Analyzer,
-	retshim.Analyzer,
-}
 
 func main() {
 	var (
 		specMode = flag.Bool("spec", false, "vet designer metadata files instead of Go packages")
 		noVet    = flag.Bool("novet", false, "code mode: skip running go vet alongside the custom passes")
-		asJSON   = flag.Bool("json", false, "emit findings as JSON")
+		asJSON   = flag.Bool("json", false, "emit findings as JSON (alias for -format json)")
+		format   = flag.String("format", "text", "output format: text, json, or github (workflow commands)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dartvet [-novet] [-json] [packages ...]\n       dartvet -spec [-json] file.meta ...\n")
+			"usage: dartvet [-novet] [-format text|json|github] [packages ...]\n       dartvet -spec [-json] file.meta ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *asJSON {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "dartvet: unknown -format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
+	}
 
 	var code int
 	if *specMode {
-		code = runSpec(flag.Args(), *asJSON)
+		code = runSpec(flag.Args(), *format == "json")
 	} else {
-		code = runCode(flag.Args(), *asJSON, *noVet)
+		code = runCode(flag.Args(), *format, *noVet)
 	}
 	os.Exit(code)
 }
 
-// runCode applies the custom passes (and go vet) to the named packages.
-func runCode(patterns []string, asJSON, noVet bool) int {
+// runCode applies the registered passes (and go vet) to the named packages.
+func runCode(patterns []string, format string, noVet bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -101,12 +93,7 @@ func runCode(patterns []string, asJSON, noVet bool) int {
 	}
 	var findings []analysis.Finding
 	for _, pkg := range pkgs {
-		var active []*analysis.Analyzer
-		for _, a := range analyzers {
-			if inScope(pkg.ImportPath, scopes[a.Name]) {
-				active = append(active, a)
-			}
-		}
+		active := passes.Active(pkg.ImportPath)
 		if len(active) == 0 {
 			continue
 		}
@@ -117,9 +104,14 @@ func runCode(patterns []string, asJSON, noVet bool) int {
 		}
 		findings = append(findings, fs...)
 	}
-	if asJSON {
+	switch format {
+	case "json":
 		json.NewEncoder(os.Stdout).Encode(findings)
-	} else {
+	case "github":
+		for _, f := range findings {
+			fmt.Println(githubCommand(f))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
@@ -136,6 +128,16 @@ func runCode(patterns []string, asJSON, noVet bool) int {
 	return code
 }
 
+// githubCommand renders a finding as a GitHub Actions workflow command so
+// CI runs surface findings as inline annotations. Newlines and the
+// characters the command syntax reserves must be percent-escaped.
+func githubCommand(f analysis.Finding) string {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=%s::%s",
+		esc(f.Position.Filename), f.Position.Line, f.Position.Column,
+		esc(f.Analyzer), esc(f.Message))
+}
+
 // runGoVet execs the standard vet tool on the same patterns so CI needs a
 // single entry point.
 func runGoVet(patterns []string) int {
@@ -150,18 +152,6 @@ func runGoVet(patterns []string) int {
 		return 2
 	}
 	return 0
-}
-
-func inScope(importPath string, suffixes []string) bool {
-	if len(suffixes) == 0 {
-		return true
-	}
-	for _, s := range suffixes {
-		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
-			return true
-		}
-	}
-	return false
 }
 
 // specReport pairs a metadata file with its diagnostics for -json output.

@@ -16,6 +16,11 @@
 //
 // Directives name one or more comma-separated passes and must carry a
 // reason after "--"; a bare allow-all is deliberately not supported.
+//
+// Suppressions are audited: a directive entry naming an analyzer that
+// ran on the package but suppressed nothing is itself reported under
+// the pseudo-analyzer "staleallow" with a delete hint, so allows cannot
+// quietly outlive the finding that justified them.
 package analysis
 
 import (
@@ -83,20 +88,56 @@ func (f Finding) String() string {
 // directivePrefix opens a suppression comment.
 const directivePrefix = "//dartvet:allow"
 
-// allowedLines maps (file, line) to the set of analyzer names a directive
-// on that line suppresses. A directive suppresses findings on its own line
-// and on the line directly below it.
-type allowedLines map[token.Position]map[string]bool
+// StaleAllowName is the pseudo-analyzer under which unused suppression
+// directives are reported.
+const StaleAllowName = "staleallow"
+
+// directive is one //dartvet:allow comment: its position, the analyzer
+// names it lists, and which of those actually suppressed a finding.
+type directive struct {
+	pos   token.Pos
+	names map[string]bool
+	used  map[string]bool
+}
+
+// allowedLines maps (file, line) to the directive on that line. A
+// directive suppresses findings on its own line and on the line
+// directly below it.
+type allowedLines map[token.Position]*directive
 
 func (a allowedLines) allows(fset *token.FileSet, name string, pos token.Pos) bool {
 	p := fset.Position(pos)
 	for _, line := range []int{p.Line, p.Line - 1} {
 		key := token.Position{Filename: p.Filename, Line: line}
-		if a[key][name] {
+		if d := a[key]; d != nil && d.names[name] {
+			d.used[name] = true
 			return true
 		}
 	}
 	return false
+}
+
+// stale returns findings for directive entries that name an analyzer in
+// ran but never suppressed one of its diagnostics.
+func (a allowedLines) stale(fset *token.FileSet, ran map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range a {
+		var names []string
+		for name := range d.names {
+			if ran[name] && !d.used[name] {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, Finding{
+				Analyzer: StaleAllowName,
+				Position: fset.Position(d.pos),
+				Message:  fmt.Sprintf("directive suppresses no %s finding; delete it (or drop %s from its list)", name, name),
+			})
+		}
+	}
+	return out
 }
 
 // collectDirectives scans a file's comments for suppression directives.
@@ -117,14 +158,14 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) allowedLines {
 				}
 				p := fset.Position(c.Pos())
 				key := token.Position{Filename: p.Filename, Line: p.Line}
-				set := out[key]
-				if set == nil {
-					set = map[string]bool{}
-					out[key] = set
+				d := out[key]
+				if d == nil {
+					d = &directive{pos: c.Pos(), names: map[string]bool{}, used: map[string]bool{}}
+					out[key] = d
 				}
 				for _, n := range strings.Split(names, ",") {
 					if n = strings.TrimSpace(n); n != "" {
-						set[n] = true
+						d.names[n] = true
 					}
 				}
 			}
@@ -162,6 +203,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
+		ran := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		out = append(out, allowed.stale(pkg.Fset, ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		pi, pj := out[i].Position, out[j].Position

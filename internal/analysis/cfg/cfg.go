@@ -1,0 +1,400 @@
+// Package cfg builds per-function control-flow graphs over go/ast.
+//
+// The builder is stdlib-only and intentionally small: it covers the
+// statement forms that appear in this repository (if/for/range/switch/
+// select/goto/labeled break+continue/return/defer) and produces basic
+// blocks suitable for forward dataflow. Function literals are NOT
+// descended into: a *ast.FuncLit appearing inside a statement is part
+// of that statement's node, and its body must be analyzed as a separate
+// function via Functions.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is a basic block: a maximal straight-line sequence of AST nodes
+// with control transfers only at the end.
+type Block struct {
+	Index int
+	Kind  string // debug label: entry, exit, if.then, for.head, ...
+
+	// Nodes are the statements and inline expressions executed in order.
+	// For branching blocks the condition expression is the last node.
+	Nodes []ast.Node
+
+	// Cond, when non-nil, is a boolean branch condition: Succs[0] is the
+	// edge taken when Cond is true, Succs[1] when it is false. Blocks
+	// without Cond (switch heads, range heads, select heads, plain
+	// fallthrough blocks) treat all successors alike.
+	Cond ast.Expr
+
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block // creation order; Entry first, Exit last
+
+	// Defers lists every defer statement in the body, in source order.
+	// Deferred work runs after Exit on every path that executed the
+	// defer; passes that model deferred cleanup read this list.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG for one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = &Block{Kind: "exit"}
+	b.cur = b.g.Entry
+	b.labels = map[string]*labelInfo{}
+	b.stmt(body)
+	b.jump(b.g.Exit)
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+// FuncInfo names one analyzable function body in a file: a declared
+// function/method or a function literal.
+type FuncInfo struct {
+	Name string // declared name, or "func literal"
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+	Pos  token.Pos
+}
+
+// Functions returns every function body in the file, including nested
+// function literals, each of which must be analyzed on its own graph.
+func Functions(file *ast.File) []FuncInfo {
+	var out []FuncInfo
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, FuncInfo{Name: fd.Name.Name, Decl: fd, Body: fd.Body, Pos: fd.Pos()})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, FuncInfo{Name: "func literal", Decl: fd, Lit: lit, Body: lit.Body, Pos: lit.Pos()})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type labelInfo struct {
+	target     *Block // goto / label entry block
+	breakTo    *Block // labeled break target (loops, switch, select)
+	continueTo *Block
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	breaks    []*Block // innermost-last break targets
+	continues []*Block // innermost-last continue targets
+	fallNext  *Block   // fallthrough target inside a switch clause
+
+	labels       map[string]*labelInfo
+	pendingLabel string // label naming the next loop/switch/select
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump terminates the current block with an edge to target and leaves
+// the builder in target-less limbo; callers set cur afterwards.
+func (b *builder) jump(target *Block) {
+	edge(b.cur, target)
+}
+
+// terminate ends the current block (after return/break/continue/goto)
+// and starts a fresh unreachable block for any trailing dead code.
+func (b *builder) terminate() {
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *builder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		if li.target == nil {
+			li.target = b.newBlock("label." + s.Label.Name)
+		}
+		b.jump(li.target)
+		b.cur = li.target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		condBlk.Cond = s.Cond
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		edge(condBlk, then) // Succs[0]: true
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(done)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			edge(condBlk, els) // Succs[1]: false
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(done)
+		} else {
+			edge(condBlk, done) // Succs[1]: false
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Cond = s.Cond
+			edge(head, body) // true
+			edge(head, done) // false
+		} else {
+			edge(head, body)
+		}
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			contTo = post
+		}
+		b.setLabelTargets(label, done, contTo)
+		b.pushLoop(done, contTo)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.jump(contTo)
+		if post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.cur = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.jump(head)
+		head.Nodes = append(head.Nodes, s) // key/value assignment + X eval
+		edge(head, body)
+		edge(head, done)
+		b.setLabelTargets(label, done, head)
+		b.pushLoop(done, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.jump(head)
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		b.switchLike(s.Init, s.Tag, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s.Init, s.Assign, s.Body, true)
+
+	case *ast.SelectStmt:
+		b.switchLike(nil, nil, s.Body, false)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			var target *Block
+			if s.Label != nil {
+				target = b.label(s.Label.Name).breakTo
+			} else if len(b.breaks) > 0 {
+				target = b.breaks[len(b.breaks)-1]
+			}
+			if target != nil {
+				b.jump(target)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			var target *Block
+			if s.Label != nil {
+				target = b.label(s.Label.Name).continueTo
+			} else if len(b.continues) > 0 {
+				target = b.continues[len(b.continues)-1]
+			}
+			if target != nil {
+				b.jump(target)
+			}
+			b.terminate()
+		case token.GOTO:
+			li := b.label(s.Label.Name)
+			if li.target == nil {
+				li.target = b.newBlock("label." + s.Label.Name)
+			}
+			b.jump(li.target)
+			b.terminate()
+		case token.FALLTHROUGH:
+			if b.fallNext != nil {
+				b.jump(b.fallNext)
+			}
+			b.terminate()
+		}
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Go, Expr, Send, Assign, IncDec, Decl statements: straight-line.
+		b.add(s)
+	}
+}
+
+// switchLike builds switch, type-switch, and select bodies. For
+// switches, header is the init statement and tag/assign; clauses are
+// CaseClause (with fallthrough support). For select, clauses are
+// CommClause whose comm statement executes first in the clause block.
+func (b *builder) switchLike(init ast.Stmt, header ast.Node, body *ast.BlockStmt, isSwitch bool) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if header != nil {
+		b.add(header)
+	}
+	head := b.cur
+	done := b.newBlock("switch.done")
+	b.setLabelTargets(label, done, nil)
+
+	// Pre-create clause blocks so fallthrough can target the next one.
+	clauseBlocks := make([]*Block, 0, len(body.List))
+	hasDefault := false
+	for range body.List {
+		clauseBlocks = append(clauseBlocks, b.newBlock("case"))
+	}
+	for i, cl := range body.List {
+		edge(head, clauseBlocks[i])
+		var caseBody []ast.Stmt
+		b.cur = clauseBlocks[i]
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				b.add(e)
+			}
+			caseBody = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(cl.Comm)
+			}
+			caseBody = cl.Body
+		}
+		if isSwitch && i+1 < len(clauseBlocks) {
+			b.fallNext = clauseBlocks[i+1]
+		} else {
+			b.fallNext = nil
+		}
+		b.breaks = append(b.breaks, done)
+		for _, st := range caseBody {
+			b.stmt(st)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.fallNext = nil
+		b.jump(done)
+	}
+	if !hasDefault || len(body.List) == 0 {
+		// No default: the switch/select can fall through with no clause
+		// taken (for select without default this models "no case ready
+		// yet" conservatively as an extra path only when empty).
+		if isSwitch || len(body.List) == 0 {
+			edge(head, done)
+		}
+	}
+	b.cur = done
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) setLabelTargets(label string, breakTo, continueTo *Block) {
+	if label == "" {
+		return
+	}
+	li := b.label(label)
+	li.breakTo = breakTo
+	li.continueTo = continueTo
+}
+
+func (b *builder) pushLoop(breakTo, continueTo *Block) {
+	b.breaks = append(b.breaks, breakTo)
+	b.continues = append(b.continues, continueTo)
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}

@@ -1,0 +1,557 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+// The differential oracle: both the CFG and a brute-force execution
+// enumerator compute the set of ordered pairs (a, b) such that marker
+// step(b) can execute immediately after step(a) on some path, plus
+// START->x and x->END pairs. Loops are witnessed with 0, 1, and 2
+// iterations, which is enough to expose every back-edge pair.
+
+const start = -1
+const end = -2
+
+type pair struct{ from, to int }
+
+func pairSet(ps []pair) map[pair]bool {
+	m := map[pair]bool{}
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}
+
+// stepOf returns the marker number if n is a step(k) call statement.
+func stepOf(n ast.Node) (int, bool) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return 0, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return 0, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "step" || len(call.Args) != 1 {
+		return 0, false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.Atoi(lit.Value)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// cfgPairs computes the may-follow relation from the graph: for each
+// marker occurrence, every marker reachable without passing another
+// marker. Empty/unmarked blocks are traversed transparently.
+func cfgPairs(g *Graph) map[pair]bool {
+	out := map[pair]bool{}
+
+	// firstMarkers(b, i): set of first markers reachable starting at
+	// node index i of block b (END if exit reachable marker-free).
+	type key struct {
+		b *Block
+		i int
+	}
+	memo := map[key][]int{}
+	var first func(b *Block, i int, seen map[*Block]bool) []int
+	first = func(b *Block, i int, seen map[*Block]bool) []int {
+		k := key{b, i}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		var res []int
+		for ; i < len(b.Nodes); i++ {
+			if v, ok := stepOf(b.Nodes[i]); ok {
+				res = []int{v}
+				memo[k] = res
+				return res
+			}
+		}
+		if b == nil || len(b.Succs) == 0 {
+			if b.Kind == "exit" {
+				res = append(res, end)
+			}
+		}
+		if seen[b] {
+			return nil // cycle with no marker
+		}
+		seen[b] = true
+		set := map[int]bool{}
+		for _, v := range res {
+			set[v] = true
+		}
+		if b.Kind == "exit" {
+			set[end] = true
+		}
+		for _, s := range b.Succs {
+			for _, v := range first(s, 0, seen) {
+				set[v] = true
+			}
+		}
+		delete(seen, b)
+		res = res[:0]
+		for v := range set {
+			res = append(res, v)
+		}
+		sort.Ints(res)
+		// Memoizing under an active `seen` set can bake in a partial
+		// answer; only memoize top-level calls (seen empty on entry is
+		// not knowable here), so skip memoization for correctness.
+		return res
+	}
+
+	// START pairs.
+	for _, v := range first(g.Entry, 0, map[*Block]bool{}) {
+		out[pair{start, v}] = true
+	}
+	// Pairs from each marker occurrence.
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if v, ok := stepOf(n); ok {
+				for _, nxt := range first(b, i+1, map[*Block]bool{}) {
+					out[pair{v, nxt}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- Brute-force enumerator -------------------------------------------
+
+type signal int
+
+const (
+	sigNone signal = iota
+	sigReturn
+	sigBreak
+	sigContinue
+)
+
+type exec struct {
+	trace []int
+	sig   signal
+}
+
+func clone(t []int) []int {
+	out := make([]int, len(t))
+	copy(out, t)
+	return out
+}
+
+// runStmts enumerates all executions of a statement list. Loops are
+// executed 0, 1, or 2 times.
+func runStmts(stmts []ast.Stmt, in exec) []exec {
+	states := []exec{in}
+	for _, s := range stmts {
+		var next []exec
+		for _, st := range states {
+			if st.sig != sigNone {
+				next = append(next, st)
+				continue
+			}
+			next = append(next, runStmt(s, st)...)
+		}
+		states = next
+	}
+	return states
+}
+
+func runStmt(s ast.Stmt, in exec) []exec {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return runStmts(s.List, in)
+	case *ast.ExprStmt:
+		if v, ok := stepOf(s); ok {
+			out := exec{trace: append(clone(in.trace), v)}
+			return []exec{out}
+		}
+		return []exec{in}
+	case *ast.IfStmt:
+		thenOut := runStmts(s.Body.List, exec{trace: clone(in.trace)})
+		var elseOut []exec
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseOut = runStmts(e.List, exec{trace: clone(in.trace)})
+			case *ast.IfStmt:
+				elseOut = runStmt(e, exec{trace: clone(in.trace)})
+			}
+		} else {
+			elseOut = []exec{{trace: clone(in.trace)}}
+		}
+		return append(thenOut, elseOut...)
+	case *ast.ForStmt:
+		// iterations 0..2; cond treated as nondeterministic unless absent
+		results := []exec{}
+		if s.Cond != nil {
+			results = append(results, exec{trace: clone(in.trace)}) // 0 iterations
+		}
+		states := []exec{{trace: clone(in.trace)}}
+		for iter := 0; iter < 2; iter++ {
+			var after []exec
+			for _, st := range states {
+				for _, body := range runStmts(s.Body.List, exec{trace: clone(st.trace)}) {
+					switch body.sig {
+					case sigReturn:
+						results = append(results, body)
+					case sigBreak:
+						results = append(results, exec{trace: body.trace})
+					default: // none or continue: next iteration, or exit when cond may fail
+						if s.Cond != nil {
+							results = append(results, exec{trace: clone(body.trace)})
+						}
+						after = append(after, exec{trace: body.trace})
+					}
+				}
+			}
+			states = after
+		}
+		// Leftover states are executions still inside the loop after the
+		// iteration cap; their pairs are already witnessed, drop them.
+		return results
+	case *ast.ReturnStmt:
+		return []exec{{trace: in.trace, sig: sigReturn}}
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			return []exec{{trace: in.trace, sig: sigBreak}}
+		case token.CONTINUE:
+			return []exec{{trace: in.trace, sig: sigContinue}}
+		}
+		return []exec{in}
+	case *ast.SwitchStmt:
+		var out []exec
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range runStmts(cc.Body, exec{trace: clone(in.trace)}) {
+				if e.sig == sigBreak {
+					e.sig = sigNone
+				}
+				out = append(out, e)
+			}
+		}
+		if !hasDefault {
+			out = append(out, exec{trace: clone(in.trace)})
+		}
+		return out
+	default:
+		return []exec{in}
+	}
+}
+
+func execPairs(body *ast.BlockStmt) map[pair]bool {
+	out := map[pair]bool{}
+	for _, e := range runStmts(body.List, exec{}) {
+		prev := start
+		for _, v := range e.trace {
+			out[pair{prev, v}] = true
+			prev = v
+		}
+		out[pair{prev, end}] = true
+	}
+	return out
+}
+
+// --- Fixtures ----------------------------------------------------------
+
+var differentialFixtures = []struct {
+	name string
+	body string
+}{
+	{"straightline", `
+		step(1)
+		step(2)
+		step(3)
+	`},
+	{"ifElse", `
+		step(1)
+		if cond {
+			step(2)
+		} else {
+			step(3)
+		}
+		step(4)
+	`},
+	{"ifNoElse", `
+		if cond {
+			step(1)
+		}
+		step(2)
+	`},
+	{"ifEarlyReturn", `
+		step(1)
+		if cond {
+			step(2)
+			return
+		}
+		step(3)
+	`},
+	{"nestedIf", `
+		if cond {
+			if cond2 {
+				step(1)
+			}
+			step(2)
+		}
+		step(3)
+	`},
+	{"loop", `
+		step(1)
+		for cond {
+			step(2)
+		}
+		step(3)
+	`},
+	{"loopBreakContinue", `
+		for cond {
+			step(1)
+			if cond2 {
+				break
+			}
+			if cond3 {
+				continue
+			}
+			step(2)
+		}
+		step(3)
+	`},
+	{"loopReturn", `
+		for cond {
+			step(1)
+			if cond2 {
+				return
+			}
+		}
+		step(2)
+	`},
+	{"switchCases", `
+		step(1)
+		switch x {
+		case 1:
+			step(2)
+		case 2:
+			step(3)
+			return
+		}
+		step(4)
+	`},
+	{"switchDefault", `
+		switch x {
+		case 1:
+			step(1)
+		default:
+			step(2)
+		}
+		step(3)
+	`},
+	{"infiniteLoopBreak", `
+		for {
+			step(1)
+			if cond {
+				break
+			}
+		}
+		step(2)
+	`},
+}
+
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := fmt.Sprintf(`package p
+var cond, cond2, cond3 bool
+var x int
+func step(int) {}
+func f() {
+%s
+}`, body)
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fix.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fd.Body
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+func fmtPairs(m map[pair]bool) string {
+	var ps []pair
+	for p := range m {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].from != ps[j].from {
+			return ps[i].from < ps[j].from
+		}
+		return ps[i].to < ps[j].to
+	})
+	s := ""
+	name := func(v int) string {
+		switch v {
+		case start:
+			return "START"
+		case end:
+			return "END"
+		}
+		return strconv.Itoa(v)
+	}
+	for _, p := range ps {
+		s += fmt.Sprintf("%s->%s ", name(p.from), name(p.to))
+	}
+	return s
+}
+
+func TestCFGDifferential(t *testing.T) {
+	for _, fx := range differentialFixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			body := parseBody(t, fx.body)
+			g := New(body)
+			got := cfgPairs(g)
+			want := execPairs(body)
+			if fmtPairs(got) != fmtPairs(want) {
+				t.Errorf("may-follow mismatch\n cfg:  %s\n exec: %s", fmtPairs(got), fmtPairs(want))
+			}
+		})
+	}
+}
+
+// Direct structural checks for forms the brute-force enumerator does
+// not model: goto, select, defer collection, range.
+func TestCFGStructure(t *testing.T) {
+	t.Run("deferCollected", func(t *testing.T) {
+		body := parseBody(t, `
+			defer step(1)
+			if cond {
+				defer step(2)
+			}
+		`)
+		g := New(body)
+		if len(g.Defers) != 2 {
+			t.Fatalf("got %d defers, want 2", len(g.Defers))
+		}
+	})
+
+	t.Run("gotoEdges", func(t *testing.T) {
+		body := parseBody(t, `
+			step(1)
+			goto done
+			step(2)
+		done:
+			step(3)
+		`)
+		g := New(body)
+		got := cfgPairs(g)
+		// step(2) is dead: 1 -> 3 via goto, never 1 -> 2.
+		if !got[pair{1, 3}] {
+			t.Errorf("missing 1->3 via goto: %s", fmtPairs(got))
+		}
+		if got[pair{1, 2}] {
+			t.Errorf("unexpected 1->2 through goto: %s", fmtPairs(got))
+		}
+	})
+
+	t.Run("selectEdges", func(t *testing.T) {
+		src := `package p
+func step(int) {}
+func f(a, b chan int) {
+	step(1)
+	select {
+	case <-a:
+		step(2)
+	case <-b:
+		step(3)
+	}
+	step(4)
+}`
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fix.go", src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body *ast.BlockStmt
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+				body = fd.Body
+			}
+		}
+		g := New(body)
+		got := cfgPairs(g)
+		for _, want := range []pair{{1, 2}, {1, 3}, {2, 4}, {3, 4}} {
+			if !got[want] {
+				t.Errorf("missing %d->%d: %s", want.from, want.to, fmtPairs(got))
+			}
+		}
+		// No default: the select blocks until a clause is ready.
+		if got[pair{1, 4}] {
+			t.Errorf("unexpected 1->4 skipping select clauses: %s", fmtPairs(got))
+		}
+	})
+
+	t.Run("rangeEdges", func(t *testing.T) {
+		src := `package p
+func step(int) {}
+func f(xs []int) {
+	step(1)
+	for range xs {
+		step(2)
+	}
+	step(3)
+}`
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fix.go", src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body *ast.BlockStmt
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+				body = fd.Body
+			}
+		}
+		g := New(body)
+		got := cfgPairs(g)
+		for _, want := range []pair{{1, 2}, {1, 3}, {2, 2}, {2, 3}} {
+			if !got[want] {
+				t.Errorf("missing %d->%d: %s", want.from, want.to, fmtPairs(got))
+			}
+		}
+	})
+
+	t.Run("funcLitOpaque", func(t *testing.T) {
+		body := parseBody(t, `
+			step(1)
+			go func() {
+				step(2)
+			}()
+			step(3)
+		`)
+		g := New(body)
+		got := cfgPairs(g)
+		if got[pair{1, 2}] || got[pair{2, 3}] {
+			t.Errorf("builder descended into func literal: %s", fmtPairs(got))
+		}
+	})
+}

@@ -1,0 +1,302 @@
+// Package dataflow runs forward dataflow problems to a fixpoint over a
+// cfg.Graph. A pass supplies a Problem describing its lattice (join,
+// equality) and transfer function; the driver owns the worklist and
+// edge propagation, including branch-condition refinement for passes
+// that learn facts from conditions (e.g. `sp != nil`).
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dart/internal/analysis/cfg"
+)
+
+// Problem describes one forward dataflow analysis over fact type T.
+// Facts flow block-entry -> transfer over each node -> successors.
+type Problem[T any] struct {
+	// Entry is the fact at function entry.
+	Entry T
+
+	// Transfer applies one CFG node to the incoming fact and returns the
+	// outgoing fact. It may mutate and return `in`.
+	Transfer func(n ast.Node, in T) T
+
+	// Join combines a new incoming fact into an accumulated one and
+	// returns the result. It may mutate and return `acc`.
+	Join func(acc, in T) T
+
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b T) bool
+
+	// Clone deep-copies a fact.
+	Clone func(T) T
+
+	// Branch, when non-nil, refines the fact flowing down one edge of a
+	// conditional block: branch is true for the Succs[0] (condition
+	// true) edge. It may mutate and return `in`.
+	Branch func(cond ast.Expr, branch bool, in T) T
+}
+
+// Result holds the fixpoint facts at the entry of each reached block.
+// Blocks never reached from entry have no fact.
+type Result[T any] struct {
+	In map[int]T // block index -> fact at block entry
+}
+
+// Forward runs the problem to a fixpoint and returns block-entry facts.
+func Forward[T any](g *cfg.Graph, p Problem[T]) *Result[T] {
+	in := map[int]T{g.Entry.Index: p.Clone(p.Entry)}
+	work := []*cfg.Block{g.Entry}
+	queued := map[int]bool{g.Entry.Index: true}
+
+	//dartvet:allow ctxloop -- bounded fixpoint worklist, not an I/O retry loop
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		fact := p.Clone(in[b.Index])
+		for _, n := range b.Nodes {
+			fact = p.Transfer(n, fact)
+		}
+		for i, s := range b.Succs {
+			edgeFact := fact
+			if p.Branch != nil && b.Cond != nil && i < 2 {
+				edgeFact = p.Branch(b.Cond, i == 0, p.Clone(fact))
+			} else if len(b.Succs) > 1 {
+				edgeFact = p.Clone(fact)
+			}
+			old, seen := in[s.Index]
+			var next T
+			if !seen {
+				next = p.Clone(edgeFact)
+			} else {
+				next = p.Join(p.Clone(old), edgeFact)
+			}
+			if !seen || !p.Equal(next, old) {
+				in[s.Index] = next
+				if !queued[s.Index] {
+					queued[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return &Result[T]{In: in}
+}
+
+// ForEachNode replays the transfer function over every reached block,
+// calling visit with the fact in force immediately BEFORE each node.
+// The fact passed to visit is shared with the replay; visit must not
+// mutate it.
+func ForEachNode[T any](g *cfg.Graph, p Problem[T], r *Result[T], visit func(n ast.Node, before T)) {
+	for _, b := range g.Blocks {
+		start, ok := r.In[b.Index]
+		if !ok {
+			continue // unreachable
+		}
+		fact := p.Clone(start)
+		for _, n := range b.Nodes {
+			visit(n, fact)
+			fact = p.Transfer(n, fact)
+		}
+	}
+}
+
+// ExitFact returns the fact at function exit, or the zero fact and
+// false when the exit block is unreachable (e.g. infinite loop).
+func ExitFact[T any](g *cfg.Graph, r *Result[T]) (T, bool) {
+	f, ok := r.In[g.Exit.Index]
+	return f, ok
+}
+
+// --- Object fact maps ---------------------------------------------------
+
+// Facts maps function-local objects (spans, errors, mutexes) to small
+// integer lattice values. The zero value for a missing key is 0, which
+// problems should treat as bottom/"untracked".
+type Facts map[types.Object]int
+
+// Clone deep-copies the map.
+func (f Facts) Clone() Facts {
+	out := make(Facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports value-equality treating missing keys as 0.
+func (f Facts) Equal(other Facts) bool {
+	for k, v := range f {
+		if other[k] != v {
+			return false
+		}
+	}
+	for k, v := range other {
+		if f[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinMax merges by per-key maximum (a "may" join when larger values
+// are the dangerous ones). Mutates and returns f.
+func (f Facts) JoinMax(other Facts) Facts {
+	for k, v := range other {
+		if v > f[k] {
+			f[k] = v
+		}
+	}
+	return f
+}
+
+// JoinMin merges by per-key minimum over the union of keys (a "must"
+// join when larger values are the proven ones). Mutates and returns f.
+func (f Facts) JoinMin(other Facts) Facts {
+	for k := range f {
+		if ov := other[k]; ov < f[k] {
+			f[k] = ov
+		}
+	}
+	for k := range other {
+		if _, ok := f[k]; !ok {
+			f[k] = 0
+		}
+	}
+	return f
+}
+
+// FactsProblem returns a Problem over Facts with the given entry and
+// join direction; callers fill in Transfer (and optionally Branch).
+func FactsProblem(entry Facts, joinMax bool) Problem[Facts] {
+	join := func(acc, in Facts) Facts { return acc.JoinMin(in) }
+	if joinMax {
+		join = func(acc, in Facts) Facts { return acc.JoinMax(in) }
+	}
+	return Problem[Facts]{
+		Entry: entry,
+		Join:  join,
+		Equal: func(a, b Facts) bool { return a.Equal(b) },
+		Clone: func(f Facts) Facts { return f.Clone() },
+	}
+}
+
+// --- AST helpers shared by passes --------------------------------------
+
+// Inspect walks n without descending into function literals, whose
+// bodies execute on their own control flow. When n is a range statement
+// (the CFG's loop-head node) only the range clause is walked: the loop
+// body lives in other blocks.
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if !fn(rs) {
+			return
+		}
+		for _, e := range []ast.Expr{rs.Key, rs.Value, rs.X} {
+			if e != nil {
+				Inspect(e, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// Calls invokes fn for every call expression in n, skipping calls that
+// only appear inside nested function literals.
+func Calls(n ast.Node, fn func(*ast.CallExpr)) {
+	Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// LocalObject resolves e to the object of a plain identifier (local
+// variable, parameter, or package-level var), or nil.
+func LocalObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// NilCompare matches `x == nil` / `x != nil` conditions and returns the
+// non-nil operand and the token: eq is true for ==.
+func NilCompare(cond ast.Expr) (x ast.Expr, eq bool, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin {
+		return nil, false, false
+	}
+	op := be.Op.String()
+	if op != "==" && op != "!=" {
+		return nil, false, false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	switch {
+	case isNil(be.Y):
+		return be.X, op == "==", true
+	case isNil(be.X):
+		return be.Y, op == "==", true
+	}
+	return nil, false, false
+}
+
+// CalleeName returns the bare name of the called function or method
+// ("Append", "Lock", ...), or "".
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// Receiver returns the receiver expression of a method call (the X in
+// x.M(...)), or nil for plain function calls.
+func Receiver(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// RootIdentObject walks selector chains (a.b.c -> a) and returns the
+// object of the root identifier, or nil.
+func RootIdentObject(info *types.Info, e ast.Expr) types.Object {
+	//dartvet:allow ctxloop -- descends a finite expression tree, bounded by selector depth
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"dart/internal/analysis/cfg"
+)
+
+func parseFunc(t *testing.T, src string) (*token.FileSet, *ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fset, fd, info
+		}
+	}
+	t.Fatal("no func f")
+	return nil, nil, nil
+}
+
+// Track whether local `x` is "set" (1) on a must (all-paths) basis.
+func TestForwardMustJoin(t *testing.T) {
+	_, fd, info := parseFunc(t, `package p
+func mark() {}
+func f(cond bool) {
+	x := 0
+	if cond {
+		x = 1
+	}
+	_ = x
+	mark()
+}`)
+	g := cfg.New(fd.Body)
+	var xObj types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "x" && info.Defs[id] != nil {
+			xObj = info.Defs[id]
+		}
+		return true
+	})
+	if xObj == nil {
+		t.Fatal("no x object")
+	}
+
+	p := FactsProblem(Facts{}, false) // must-join
+	p.Transfer = func(n ast.Node, in Facts) Facts {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if LocalObject(info, lhs) == xObj {
+					if as.Tok == token.ASSIGN {
+						in[xObj] = 1
+					} else {
+						in[xObj] = 0
+					}
+				}
+			}
+		}
+		return in
+	}
+	r := Forward(g, p)
+	exit, ok := ExitFact(g, r)
+	if !ok {
+		t.Fatal("exit unreachable")
+	}
+	// x = 1 only on the cond branch: must-join says not set at exit.
+	if exit[xObj] != 0 {
+		t.Errorf("must-join: got %d at exit, want 0", exit[xObj])
+	}
+
+	// Same program under may-join: set on some path.
+	pm := FactsProblem(Facts{}, true)
+	pm.Transfer = p.Transfer
+	rm := Forward(g, pm)
+	exitM, _ := ExitFact(g, rm)
+	if exitM[xObj] != 1 {
+		t.Errorf("may-join: got %d at exit, want 1", exitM[xObj])
+	}
+}
+
+// Branch refinement: `if p == nil { return }` proves p non-nil after.
+func TestForwardBranchRefinement(t *testing.T) {
+	_, fd, info := parseFunc(t, `package p
+func f(p *int) {
+	if p == nil {
+		return
+	}
+	_ = p
+}`)
+	g := cfg.New(fd.Body)
+	var pObj types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "p" && info.Uses[id] != nil {
+			pObj = info.Uses[id]
+		}
+		return true
+	})
+
+	const maybeNil, notNil = 1, 2
+	prob := FactsProblem(Facts{pObj: maybeNil}, false)
+	prob.Transfer = func(n ast.Node, in Facts) Facts { return in }
+	prob.Branch = func(cond ast.Expr, branch bool, in Facts) Facts {
+		if x, eq, ok := NilCompare(cond); ok {
+			if obj := LocalObject(info, x); obj == pObj {
+				// eq==true: nil on true edge, non-nil on false edge.
+				if eq != branch {
+					in[pObj] = notNil
+				}
+			}
+		}
+		return in
+	}
+	r := Forward(g, prob)
+	exit, ok := ExitFact(g, r)
+	if !ok {
+		t.Fatal("exit unreachable")
+	}
+	// The only fallthrough path has p refined to notNil; the return path
+	// joins at exit with maybeNil, so the exit join is maybeNil (min).
+	if exit[pObj] != maybeNil {
+		t.Errorf("exit fact %d, want %d (join of both paths)", exit[pObj], maybeNil)
+	}
+	// But the _ = p node itself must see notNil.
+	sawUse := false
+	ForEachNode(g, prob, r, func(n ast.Node, before Facts) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if len(as.Rhs) == 1 && LocalObject(info, as.Rhs[0]) == pObj {
+				sawUse = true
+				if before[pObj] != notNil {
+					t.Errorf("at use: fact %d, want %d", before[pObj], notNil)
+				}
+			}
+		}
+	})
+	if !sawUse {
+		t.Error("never visited the _ = p node")
+	}
+}

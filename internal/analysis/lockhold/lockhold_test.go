@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"dart/internal/analysis/analysistest"
+	"dart/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer, "testdata/src/lh")
+}

@@ -84,6 +84,7 @@ func receiverTypeName(fd *ast.FuncDecl) string {
 func reachesSolveProblem(start *ast.FuncDecl, funcs map[string]*ast.FuncDecl, methods map[string]*ast.FuncDecl) bool {
 	queue := []*ast.FuncDecl{start}
 	visited := map[*ast.FuncDecl]bool{start: true}
+	//dartvet:allow ctxloop -- BFS over package decls, bounded by the visited set
 	for len(queue) > 0 {
 		fd := queue[0]
 		queue = queue[1:]

@@ -1,0 +1,224 @@
+// Package spanleak verifies span lifetimes: a value obtained from an
+// obs-style Start* call (StartTrace, StartChild — any Start* returning
+// *Span) must reach End() on every path out of the function. Without
+// this, the trace tree silently drops the span and all its children.
+//
+// The pass is flow-sensitive on the dataflow driver. A span becomes
+// safe when:
+//
+//   - x.End() is called on the path,
+//   - defer x.End() runs (including End calls inside deferred closures,
+//     the `defer func() { ...; sp.End() }()` idiom),
+//   - the path is refined by a nil check (`if sp == nil` / `sp != nil`
+//     branches: the nil side has nothing to end),
+//   - the span escapes the function: returned, stored into a struct,
+//     or passed to any call other than obs.ContextWithSpan — ownership
+//     moves with it.
+//
+// Passing a span to ContextWithSpan does NOT end responsibility: the
+// starter still owns the End.
+package spanleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dart/internal/analysis"
+	"dart/internal/analysis/cfg"
+	"dart/internal/analysis/dataflow"
+)
+
+// Analyzer is the spanleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanleak",
+	Doc:  "a span returned by *.Start* must reach End() on every path (defer sp.End() counts)",
+	Run:  run,
+}
+
+// Lattice per span object; larger is worse, joins are max.
+const (
+	none = 0 // not a tracked span on this path
+	safe = 1 // ended, escaped, or proven nil
+	live = 2 // started and still awaiting End
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range cfg.Functions(f) {
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+type tracker struct {
+	pass *analysis.Pass
+	// origin records where each tracked span was started, for reporting.
+	origin map[types.Object]*ast.CallExpr
+}
+
+func checkFunc(pass *analysis.Pass, fn cfg.FuncInfo) {
+	tr := &tracker{pass: pass, origin: map[types.Object]*ast.CallExpr{}}
+	g := cfg.New(fn.Body)
+
+	prob := dataflow.FactsProblem(dataflow.Facts{}, true) // may-join: live dominates
+	prob.Transfer = tr.transfer
+	prob.Branch = tr.branch
+	res := dataflow.Forward(g, prob)
+
+	// A start whose result is discarded outright can never be ended.
+	dataflow.ForEachNode(g, prob, res, func(n ast.Node, _ dataflow.Facts) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && tr.isSpanStart(call) {
+				pass.Reportf(call.Pos(), "span from %s is discarded and can never be ended (assign it and call End)",
+					dataflow.CalleeName(call))
+			}
+		}
+	})
+
+	exit, ok := dataflow.ExitFact(g, res)
+	if !ok {
+		return // exit unreachable
+	}
+	for obj, v := range exit {
+		if v != live {
+			continue
+		}
+		call := tr.origin[obj]
+		pass.Reportf(call.Pos(), "span %s from %s is not ended on every path (add defer %s.End() or End it before each return)",
+			obj.Name(), dataflow.CalleeName(call), obj.Name())
+	}
+}
+
+// isSpanStart matches calls named Start* whose result is a *Span.
+func (tr *tracker) isSpanStart(call *ast.CallExpr) bool {
+	name := dataflow.CalleeName(call)
+	if !strings.HasPrefix(name, "Start") {
+		return false
+	}
+	t := tr.pass.TypeOf(call)
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Name() == "Span"
+}
+
+func (tr *tracker) transfer(n ast.Node, in dataflow.Facts) dataflow.Facts {
+	info := tr.pass.TypesInfo
+
+	// Deferred End: defer sp.End() or defer func() { sp.End() }().
+	if def, ok := n.(*ast.DeferStmt); ok {
+		ast.Inspect(def, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || dataflow.CalleeName(call) != "End" {
+				return true
+			}
+			if obj := dataflow.LocalObject(info, dataflow.Receiver(call)); obj != nil {
+				if _, tracked := tr.origin[obj]; tracked {
+					in[obj] = safe
+				}
+			}
+			return true
+		})
+		return in
+	}
+
+	// New spans: x := t.Start*(...) in pairwise assignment position.
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !tr.isSpanStart(call) {
+				continue
+			}
+			obj := dataflow.LocalObject(info, as.Lhs[i])
+			if obj == nil {
+				continue
+			}
+			tr.origin[obj] = call
+			defer func(o types.Object) { in[o] = live }(obj)
+		}
+	}
+
+	// Direct End calls and escapes.
+	benign := tr.benignUses(n)
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if dataflow.CalleeName(m) == "End" {
+				if obj := dataflow.LocalObject(info, dataflow.Receiver(m)); obj != nil && in[obj] == live {
+					in[obj] = safe
+				}
+			}
+		case *ast.Ident:
+			obj := info.Uses[m]
+			if obj == nil || benign[m] {
+				return true
+			}
+			if _, tracked := tr.origin[obj]; tracked && in[obj] == live {
+				in[obj] = safe // escaped: returned, stored, or passed along
+			}
+		}
+		return true
+	})
+	return in
+}
+
+// benignUses collects identifier occurrences that neither end nor leak
+// a span: method-call receivers (sp.End(), sp.SetStr(...)), assignment
+// targets, nil-comparison operands, and ContextWithSpan arguments.
+func (tr *tracker) benignUses(n ast.Node) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			out[id] = true
+		}
+	}
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SelectorExpr:
+			mark(m.X)
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				mark(lhs)
+			}
+		case *ast.BinaryExpr:
+			if m.Op == token.EQL || m.Op == token.NEQ {
+				mark(m.X)
+				mark(m.Y)
+			}
+		case *ast.CallExpr:
+			if dataflow.CalleeName(m) == "ContextWithSpan" {
+				for _, arg := range m.Args {
+					mark(arg)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// branch refines facts along nil-check edges: on the side where the
+// span is proven nil there is nothing to end.
+func (tr *tracker) branch(cond ast.Expr, branch bool, in dataflow.Facts) dataflow.Facts {
+	x, eq, ok := dataflow.NilCompare(cond)
+	if !ok {
+		return in
+	}
+	obj := dataflow.LocalObject(tr.pass.TypesInfo, x)
+	if obj == nil {
+		return in
+	}
+	if _, tracked := tr.origin[obj]; !tracked {
+		return in
+	}
+	// eq: true edge means x == nil; !eq: false edge means x == nil.
+	if eq == branch {
+		in[obj] = safe
+	}
+	return in
+}

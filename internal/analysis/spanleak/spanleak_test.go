@@ -1,0 +1,12 @@
+package spanleak_test
+
+import (
+	"testing"
+
+	"dart/internal/analysis/analysistest"
+	"dart/internal/analysis/spanleak"
+)
+
+func TestSpanleak(t *testing.T) {
+	analysistest.Run(t, spanleak.Analyzer, "testdata/src/sp")
+}

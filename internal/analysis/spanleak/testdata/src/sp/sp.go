@@ -1,0 +1,163 @@
+// Package sp exercises the spanleak pass: spans from Start* calls must
+// reach End() on every path.
+package sp
+
+// Span mirrors the obs.Span shape the pass recognizes by type name.
+type Span struct{ name string }
+
+func (s *Span) End() {}
+
+func (s *Span) SetStr(k, v string) {}
+
+func (s *Span) StartChild(name string) *Span { return &Span{name: name} }
+
+// Tracer mirrors obs.Tracer.
+type Tracer struct{}
+
+func (t *Tracer) StartTrace(name string) *Span { return &Span{name: name} }
+
+// ContextWithSpan mirrors obs.ContextWithSpan: spans passed here are
+// still owned by the starter.
+func ContextWithSpan(ctx int, s *Span) int { return ctx }
+
+func sink(s *Span) {}
+
+func work() {}
+
+// --- leaks ------------------------------------------------------------
+
+func leakOnEarlyReturn(t *Tracer, cond bool) {
+	sp := t.StartTrace("job") // want "span sp from StartTrace is not ended on every path"
+	if cond {
+		return
+	}
+	sp.End()
+}
+
+func leakOneBranch(t *Tracer, cond bool) {
+	sp := t.StartTrace("job") // want "span sp from StartTrace is not ended on every path"
+	if cond {
+		sp.End()
+	}
+}
+
+func leakViaContext(t *Tracer, ctx int, cond bool) {
+	sp := t.StartTrace("job") // want "span sp from StartTrace is not ended on every path"
+	ctx = ContextWithSpan(ctx, sp)
+	if cond {
+		return
+	}
+	sp.End()
+	_ = ctx
+}
+
+func leakInLoop(t *Tracer, n int) {
+	root := t.StartTrace("job")
+	defer root.End()
+	for i := 0; i < n; i++ {
+		c := root.StartChild("iter") // want "span c from StartChild is not ended on every path"
+		if i == 2 {
+			continue
+		}
+		c.End()
+	}
+}
+
+func discarded(t *Tracer) {
+	t.StartTrace("job") // want "span from StartTrace is discarded"
+}
+
+// --- clean ------------------------------------------------------------
+
+func endedBothBranches(t *Tracer, cond bool) {
+	sp := t.StartTrace("job")
+	if cond {
+		sp.SetStr("mode", "fast")
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+func deferEnd(t *Tracer) {
+	sp := t.StartTrace("job")
+	defer sp.End()
+	work()
+}
+
+func deferClosureEnd(t *Tracer, cond bool) {
+	sp := t.StartTrace("job")
+	defer func() {
+		if cond {
+			sp.SetStr("late", "true")
+		}
+		sp.End()
+	}()
+	if cond {
+		return
+	}
+	work()
+}
+
+func nilGuardedLateEnd(t *Tracer, on bool) {
+	var sp *Span
+	if on {
+		sp = t.StartTrace("job")
+	}
+	work()
+	if sp != nil {
+		sp.End()
+	}
+}
+
+func ifInitNilCheck(t *Tracer) {
+	if sp := t.StartTrace("job"); sp != nil {
+		defer sp.End()
+		work()
+	}
+}
+
+func nilCheckEarlyReturn(t *Tracer) {
+	sp := t.StartTrace("job")
+	if sp == nil {
+		return
+	}
+	sp.End()
+}
+
+func escapesToCaller(t *Tracer) *Span {
+	sp := t.StartTrace("job")
+	sp.SetStr("owner", "caller")
+	return sp
+}
+
+func escapesToSink(t *Tracer) {
+	sp := t.StartTrace("job")
+	sink(sp)
+}
+
+type holder struct{ span *Span }
+
+func escapesToField(t *Tracer, h *holder) {
+	sp := t.StartTrace("job")
+	h.span = sp
+}
+
+func endInLoopEveryPath(t *Tracer, n int) {
+	for i := 0; i < n; i++ {
+		c := t.StartTrace("iter")
+		if i%2 == 0 {
+			c.SetStr("parity", "even")
+		}
+		c.End()
+	}
+}
+
+func allowed(t *Tracer, cond bool) {
+	//dartvet:allow spanleak -- fixture: intentional leak kept for the directive test
+	sp := t.StartTrace("job")
+	if cond {
+		return
+	}
+	sp.End()
+}

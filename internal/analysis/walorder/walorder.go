@@ -1,0 +1,200 @@
+// Package walorder encodes the service package's durable-before-visible
+// invariant (DESIGN §5): a write that makes a job visible to workers —
+// a send on a queue channel field, a cond Signal/Broadcast, or an
+// insert into a job map field — must be dominated by the matching
+// durable append (a call on the JobStore field, or an append*/persist*
+// ...Locked helper that performs one). Otherwise a crash between the
+// two loses a job a worker already observed.
+//
+// The pass runs a must-analysis on the dataflow driver: a visible write
+// is reported unless a durable append has happened on EVERY path
+// reaching it. It applies to any function or method manipulating a
+// struct that carries a JobStore-typed field, keyed by the root value
+// (receiver, local, or parameter) being manipulated.
+//
+// Replay-time code that re-inserts already-durable records legitimately
+// violates the textual ordering and carries reasoned
+// //dartvet:allow walorder directives.
+package walorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dart/internal/analysis"
+	"dart/internal/analysis/cfg"
+	"dart/internal/analysis/dataflow"
+)
+
+// Analyzer is the walorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walorder",
+	Doc:  "worker-visible writes (channel send, cond signal, job-map insert) must be dominated by the durable store append",
+	Run:  run,
+}
+
+const appended = 1 // fact value: durable append has happened on every path
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range cfg.Functions(f) {
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn cfg.FuncInfo) {
+	c := &checker{pass: pass}
+	g := cfg.New(fn.Body)
+
+	prob := dataflow.FactsProblem(dataflow.Facts{}, false) // must-join
+	prob.Transfer = c.transfer
+	res := dataflow.Forward(g, prob)
+
+	dataflow.ForEachNode(g, prob, res, func(n ast.Node, before dataflow.Facts) {
+		c.checkVisible(n, before)
+	})
+}
+
+// typeUnder returns the underlying type of e, or nil when unknown.
+func (c *checker) typeUnder(e ast.Expr) types.Type {
+	t := c.pass.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// storeCarrier reports whether e's root value is a struct (or pointer
+// to one) carrying a JobStore-typed field, returning the root object.
+func (c *checker) storeCarrier(e ast.Expr) types.Object {
+	root := dataflow.RootIdentObject(c.pass.TypesInfo, e)
+	if root == nil {
+		return nil
+	}
+	st := structOf(root.Type())
+	if st == nil {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if typeName(st.Field(i).Type()) == "JobStore" {
+			return root
+		}
+	}
+	return nil
+}
+
+func structOf(t types.Type) *types.Struct {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// transfer marks the root value appended when the node performs a
+// durable write: a call on its JobStore field (Append*, WriteSnapshot)
+// or a delegating append*Locked / persist*Locked helper.
+func (c *checker) transfer(n ast.Node, in dataflow.Facts) dataflow.Facts {
+	dataflow.Calls(n, func(call *ast.CallExpr) {
+		recv := dataflow.Receiver(call)
+		if recv == nil {
+			return
+		}
+		name := dataflow.CalleeName(call)
+		durable := false
+		switch {
+		case strings.HasPrefix(name, "Append"), name == "WriteSnapshot":
+			// q.store.Append(...): the receiver is the JobStore field.
+			if typeName(c.pass.TypeOf(recv)) == "JobStore" {
+				durable = true
+			}
+		case strings.HasSuffix(name, "Locked") &&
+			(strings.HasPrefix(name, "append") || strings.HasPrefix(name, "persist")):
+			durable = true
+		}
+		if !durable {
+			return
+		}
+		if root := c.storeCarrier(recv); root != nil {
+			in[root] = appended
+		}
+	})
+	return in
+}
+
+// checkVisible reports worker-visible writes happening while the fact
+// says no durable append is guaranteed.
+func (c *checker) checkVisible(n ast.Node, before dataflow.Facts) {
+	report := func(root types.Object, pos ast.Node, what string) {
+		if before[root] == appended {
+			return
+		}
+		c.pass.Reportf(pos.Pos(), "worker-visible write (%s) may happen before the job is durably appended on this path (call the matching store.Append*/append*Locked first)", what)
+	}
+
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			if sel, ok := ast.Unparen(m.Chan).(*ast.SelectorExpr); ok {
+				if _, isChan := c.typeUnder(sel).(*types.Chan); isChan {
+					if root := c.storeCarrier(sel); root != nil {
+						report(root, m, "send on "+render(sel))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			name := dataflow.CalleeName(m)
+			if name != "Signal" && name != "Broadcast" {
+				return true
+			}
+			if recv := dataflow.Receiver(m); recv != nil && typeName(c.pass.TypeOf(recv)) == "Cond" {
+				if root := c.storeCarrier(recv); root != nil {
+					report(root, m, "cond "+name)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if _, isMap := c.typeUnder(sel).(*types.Map); !isMap {
+					continue
+				}
+				if root := c.storeCarrier(sel); root != nil {
+					report(root, ix, "insert into "+render(sel))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// render prints a short x.f form for diagnostics.
+func render(sel *ast.SelectorExpr) string {
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}

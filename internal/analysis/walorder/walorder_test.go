@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"dart/internal/analysis/analysistest"
+	"dart/internal/analysis/walorder"
+)
+
+func TestWalorder(t *testing.T) {
+	analysistest.Run(t, walorder.Analyzer, "testdata/src/wo")
+}

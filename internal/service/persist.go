@@ -319,7 +319,7 @@ func RecoverQueue(capacity int, st store.JobStore, snapshotEvery int, onStoreErr
 					job.Result = &res
 				}
 			}
-			q.jobs[job.ID] = job
+			q.jobs[job.ID] = job //dartvet:allow walorder -- snapshot replay: the record set being made visible is already durable
 			q.order = append(q.order, job.ID)
 		}
 		stats.SnapshotJobs = len(state.Jobs)
@@ -344,7 +344,7 @@ func RecoverQueue(capacity int, st store.JobStore, snapshotEvery int, onStoreErr
 			job.FinishedAt = time.Time{}
 			job.Error = ""
 			job.Result = nil
-			q.ch <- job
+			q.ch <- job //dartvet:allow walorder -- recovery requeue: the job was replayed from the durable log, not newly accepted
 			requeued = append(requeued, job)
 			stats.Requeued++
 		default:
@@ -380,7 +380,7 @@ func (q *Queue) applyRecordLocked(rec *store.Record, stats *RecoveryStats) {
 			State:       StateQueued,
 			SubmittedAt: rec.Time(),
 		}
-		q.jobs[job.ID] = job
+		q.jobs[job.ID] = job //dartvet:allow walorder -- applying a replayed record: it is already in the durable log
 		q.order = append(q.order, job.ID)
 		// Keep ID allocation ahead of every replayed job.
 		var n int

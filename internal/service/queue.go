@@ -233,9 +233,8 @@ func (q *Queue) ListPage(state JobState, cursor string, limit int) (page []JobVi
 	return page, next, nil
 }
 
-// Depth returns the number of jobs waiting for a worker.
-//
-//dartvet:allow lockcheck -- len on a channel is an atomic runtime query; no lock needed
+// Depth returns the number of jobs waiting for a worker; len on a
+// channel is an atomic runtime query lockcheck exempts.
 func (q *Queue) Depth() int { return len(q.ch) }
 
 // CountByState tallies jobs per state.

@@ -80,12 +80,12 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 	}
 	w.idx, err = os.OpenFile(filepath.Join(dir, idxName), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		w.wal.Close()
+		_ = w.wal.Close()
 		return nil, fmt.Errorf("store: opening %s: %w", idxName, err)
 	}
 	if err := w.recoverTailLocked(); err != nil {
-		w.wal.Close()
-		w.idx.Close()
+		_ = w.wal.Close()
+		_ = w.idx.Close()
 		return nil, err
 	}
 	return w, nil
@@ -270,11 +270,11 @@ func (w *WAL) WriteSnapshot(state []byte) error {
 		return fmt.Errorf("store: snapshot tmp: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("store: syncing snapshot: %w", err)
 	}
 	w.fsyncs++
@@ -284,7 +284,12 @@ func (w *WAL) WriteSnapshot(state []byte) error {
 	if err := os.Rename(tmp, filepath.Join(w.dir, snapName)); err != nil {
 		return fmt.Errorf("store: installing snapshot: %w", err)
 	}
-	w.syncDirLocked()
+	if err := w.syncDirLocked(); err != nil {
+		// The rename is not known durable: a crash could resurrect the old
+		// snapshot, so the log must keep every frame. Truncating here would
+		// risk losing both the snapshot and the records it absorbed.
+		return err
+	}
 
 	// The snapshot absorbs every appended frame: truncate the log and
 	// index so disk usage stays bounded by one snapshot plus the records
@@ -304,18 +309,28 @@ func (w *WAL) WriteSnapshot(state []byte) error {
 	return nil
 }
 
-// syncDirLocked flushes the directory entry after a rename so the new
-// snapshot name is durable; failure is non-fatal (the old snapshot plus
-// the untruncated log still replay correctly).
-func (w *WAL) syncDirLocked() {
-	d, err := os.Open(w.dir)
+// syncDir flushes a directory entry so a completed rename inside it is
+// durable. A package variable so store tests can inject directory-sync
+// failures, which are otherwise nearly impossible to provoke.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return err
 	}
-	if d.Sync() == nil {
-		w.fsyncs++
+	return errors.Join(d.Sync(), d.Close())
+}
+
+// syncDirLocked flushes the WAL directory after the snapshot rename so
+// the new snapshot name is durable. Failure is fatal to the snapshot:
+// the caller must leave the log untruncated, because without a durable
+// directory entry a crash could lose the rename and the truncated
+// frames at once.
+func (w *WAL) syncDirLocked() error {
+	if err := syncDir(w.dir); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", w.dir, err)
 	}
-	d.Close()
+	w.fsyncs++
+	return nil
 }
 
 // AppendsSinceSnapshot implements JobStore.
@@ -388,18 +403,10 @@ func (w *WAL) Stats() Stats {
 	}
 }
 
-// Close flushes and closes the underlying files.
+// Close flushes both files and closes them; every error is reported,
+// joined, so a failed final sync cannot hide behind a clean close.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	errSync := w.wal.Sync()
-	err1 := w.wal.Close()
-	err2 := w.idx.Close()
-	if errSync != nil {
-		return errSync
-	}
-	if err1 != nil {
-		return err1
-	}
-	return err2
+	return errors.Join(w.wal.Sync(), w.idx.Sync(), w.wal.Close(), w.idx.Close())
 }

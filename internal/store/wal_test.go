@@ -277,3 +277,65 @@ func TestWALStats(t *testing.T) {
 		t.Errorf("post-snapshot stats = %+v", st)
 	}
 }
+
+// TestWALSnapshotDirSyncFailure injects a directory-sync failure into
+// WriteSnapshot: the snapshot must report the error and must NOT truncate
+// the log, because without a durable directory entry a crash could lose
+// the renamed snapshot and the truncated frames at once.
+func TestWALSnapshotDirSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	recs := appendN(t, w, 8)
+
+	realSyncDir := syncDir
+	syncDir = func(string) error { return fmt.Errorf("injected dir-sync failure") }
+	defer func() { syncDir = realSyncDir }()
+
+	if err := w.WriteSnapshot([]byte(`{"jobs":8}`)); err == nil {
+		t.Fatal("WriteSnapshot succeeded despite dir-sync failure")
+	}
+	if got := w.Frames(); got != len(recs) {
+		t.Fatalf("frames after failed snapshot = %d, want %d (log must not be truncated)", got, len(recs))
+	}
+	if got := w.AppendsSinceSnapshot(); got != len(recs) {
+		t.Errorf("appends since snapshot = %d, want %d", got, len(recs))
+	}
+	// Every record must still replay from the intact log.
+	_, got := replayAll(t, w)
+	if len(got) != len(recs) {
+		t.Fatalf("replay after failed snapshot = %d records, want %d", len(got), len(recs))
+	}
+
+	// With the failure cleared the same snapshot goes through and the log
+	// truncates as usual.
+	syncDir = realSyncDir
+	if err := w.WriteSnapshot([]byte(`{"jobs":8}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Frames(); got != 0 {
+		t.Errorf("frames after successful snapshot = %d, want 0", got)
+	}
+}
+
+// TestWALCloseReportsSyncFailure: Close must surface sync/close errors
+// instead of dropping them — a failed final flush is a durability event.
+func TestWALCloseReportsSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 2)
+	if err := w.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	// The files are already closed: a second Close must report the failed
+	// sync/close rather than returning nil.
+	if err := w.Close(); err == nil {
+		t.Fatal("second Close returned nil, want error from closed files")
+	}
+}
