@@ -26,6 +26,7 @@ import (
 	"dart/internal/core"
 	"dart/internal/experiments"
 	"dart/internal/milp"
+	"dart/internal/obs"
 	"dart/internal/runningex"
 	"dart/internal/store"
 )
@@ -223,6 +224,28 @@ func writeBenchJSON(path string) error {
 				if total != 0 {
 					b.Fatalf("vet over the tree found %d findings, want 0", total)
 				}
+			}
+		}},
+		{"EventBusPublish", func(b *testing.B) {
+			bus := obs.NewBus(obs.BusConfig{})
+			sub, _ := bus.Subscribe("bench", 4096)
+			defer sub.Close()
+			stop := make(chan struct{})
+			go func() {
+				for {
+					select {
+					case <-sub.C():
+					case <-stop:
+						return
+					}
+				}
+			}()
+			defer close(stop)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bus.Publish(obs.Event{Kind: obs.KindSolver, Name: "progress",
+					JobID: "job-bench", Gap: 0.5, Nodes: int64(i)})
 			}
 		}},
 		{"RepairRunningExample", func(b *testing.B) {

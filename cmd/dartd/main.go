@@ -7,6 +7,7 @@
 //	dartd [-addr :8080] [-workers N] [-queue 1024]
 //	      [-job-timeout 60s] [-attempts 3] [-drain-timeout 30s]
 //	      [-result-cache 256] [-trace-buffer 256] [-trace-export t.jsonl]
+//	      [-event-buffer 1024]
 //	      [-store-dir /var/lib/dartd] [-store fsync|async] [-store-snapshot-every 256]
 //	      [-pprof] [-log text|json]
 //
@@ -26,10 +27,20 @@
 //	GET  /v1/jobs/{id}/suggestions        a validate:true job's suggestion queue + audit history
 //	POST /v1/jobs/{id}/suggestions/{sid}  decide one suggestion: {"action": "accept"|"reject"|"revert", "seq": N, ...}
 //	GET  /v1/jobs/{id}/workbench          embedded single-page operator workbench
+//	GET  /v1/jobs/{id}/events  SSE: the job's live events, ring replay then tail (-event-buffer > 0)
+//	GET  /v1/jobs/{id}/progress  live per-job progress aggregate (-event-buffer > 0)
+//	GET  /v1/events           SSE firehose; ?kind=job,queue,solver,component,span,ledger filters,
+//	                          ?job= filters, ?after_seq= resumes, ?replay=only closes after the ring
 //	GET  /debug/traces        the N slowest recent traces (tracing only)
 //	GET  /debug/pprof/        runtime profiles (-pprof only)
 //	GET  /healthz             liveness (503 while draining)
+//	GET  /readyz              readiness (store replayed, pool started, queue accepting)
 //	GET  /metrics             Prometheus text format
+//
+// Live events need -event-buffer > 0; solver search progress and span
+// completions additionally need tracing on (-trace-buffer > 0), because a
+// job's trace is the conduit that carries them onto the bus. cmd/dartstat
+// renders the firehose as a live console; cmd/darttail pipes it as JSONL.
 //
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, in-flight and
 // queued jobs finish (bounded by -drain-timeout), then the process exits.
@@ -70,6 +81,7 @@ func run() error {
 		resultCache  = flag.Int("result-cache", 256, "serve repeated (document, metadata, solver) submissions from an LRU of this many results; 0 disables")
 		traceBuffer  = flag.Int("trace-buffer", 256, "retain the last N job traces for /v1/jobs/{id}/trace and /debug/traces; 0 disables tracing")
 		traceExport  = flag.String("trace-export", "", "append every finished trace to this JSONL file (one span per line)")
+		eventBuffer  = flag.Int("event-buffer", 1024, "retain the last N telemetry events for SSE replay on /v1/events and /v1/jobs/{id}/events; 0 disables live events")
 		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logFormat    = flag.String("log", "text", "structured log format: text or json")
 		storeDir     = flag.String("store-dir", "", "persist jobs to a write-ahead log in this directory and replay it on boot; empty keeps jobs in memory only")
@@ -99,6 +111,11 @@ func run() error {
 		tracer = obs.New(cfg)
 	}
 
+	var bus *obs.Bus
+	if *eventBuffer > 0 {
+		bus = obs.NewBus(obs.BusConfig{Ring: *eventBuffer})
+	}
+
 	var jobStore store.JobStore
 	if *storeDir != "" {
 		if *storeMode != "fsync" && *storeMode != "async" {
@@ -120,6 +137,7 @@ func run() error {
 		MaxAttempts:        *attempts,
 		ResultCacheSize:    *resultCache,
 		Tracer:             tracer,
+		Bus:                bus,
 		Logger:             logger,
 		EnablePprof:        *enablePprof,
 		Store:              jobStore,
@@ -138,7 +156,7 @@ func run() error {
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "version", service.Version,
-			"tracing", tracer != nil, "pprof", *enablePprof)
+			"tracing", tracer != nil, "events", bus != nil, "pprof", *enablePprof)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

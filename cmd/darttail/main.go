@@ -1,0 +1,81 @@
+// Command darttail pipes a dartd event stream to stdout as JSONL, one
+// bus event per line — the scripting companion to dartstat's console.
+//
+// Usage:
+//
+//	darttail [-addr http://localhost:8080] [-kind solver,job] [-job job-000001]
+//	         [-after-seq N] [-replay-only]
+//
+// Without flags it tails the full firehose: ring replay first, then live
+// events until interrupted. -replay-only exits after the ring (so
+// `darttail -replay-only | jq .` inspects recent history), -job narrows
+// to one job's stream, -kind filters server-side by event kind, and
+// -after-seq resumes past an already-seen sequence number.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+)
+
+func main() {
+	if err := run(context.Background(), os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "darttail:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, w io.Writer, argv []string) error {
+	fs := flag.NewFlagSet("darttail", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "http://localhost:8080", "dartd base URL")
+		kinds      = fs.String("kind", "", "comma-separated event kinds to keep (job, queue, solver, component, span, ledger); empty keeps all")
+		jobID      = fs.String("job", "", "tail one job's stream instead of the firehose")
+		afterSeq   = fs.Uint64("after-seq", 0, "skip events at or below this sequence number")
+		replayOnly = fs.Bool("replay-only", false, "print the replay ring and exit instead of tailing live")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	target, err := streamURL(*addr, *kinds, *jobID, *afterSeq, *replayOnly)
+	if err != nil {
+		return err
+	}
+	return tail(ctx, w, target)
+}
+
+// streamURL builds the endpoint URL: the firehose, or one job's stream.
+func streamURL(addr, kinds, jobID string, afterSeq uint64, replayOnly bool) (string, error) {
+	base, err := url.Parse(strings.TrimRight(addr, "/"))
+	if err != nil {
+		return "", fmt.Errorf("parsing -addr: %w", err)
+	}
+	if jobID != "" {
+		base.Path += "/v1/jobs/" + jobID + "/events"
+	} else {
+		base.Path += "/v1/events"
+	}
+	q := url.Values{}
+	if kinds != "" {
+		q.Set("kind", kinds)
+	}
+	if afterSeq > 0 {
+		q.Set("after_seq", fmt.Sprint(afterSeq))
+	}
+	if replayOnly {
+		q.Set("replay", "only")
+	}
+	base.RawQuery = q.Encode()
+	return base.String(), nil
+}

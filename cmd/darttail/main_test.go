@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dart/internal/obs"
+	"dart/internal/sse"
+)
+
+func TestStreamURL(t *testing.T) {
+	cases := []struct {
+		addr, kinds, job string
+		afterSeq         uint64
+		replayOnly       bool
+		want             string
+	}{
+		{"http://h:1/", "", "", 0, false, "http://h:1/v1/events"},
+		{"http://h:1", "solver,job", "", 7, true,
+			"http://h:1/v1/events?after_seq=7&kind=solver%2Cjob&replay=only"},
+		{"http://h:1", "", "job-000003", 0, false, "http://h:1/v1/jobs/job-000003/events"},
+	}
+	for _, c := range cases {
+		got, err := streamURL(c.addr, c.kinds, c.job, c.afterSeq, c.replayOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("streamURL(%+v) = %q, want %q", c, got, c.want)
+		}
+	}
+}
+
+// TestTailJSONL checks a full fake stream comes out as one JSON object
+// per line, heartbeats skipped, with a clean exit on server close.
+func TestTailJSONL(t *testing.T) {
+	events := []obs.Event{
+		{Seq: 1, Kind: obs.KindJob, Name: "state", JobID: "job-000001", State: "running"},
+		{Seq: 2, Kind: obs.KindSolver, Name: "done", JobID: "job-000001", Gap: 0},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = sse.WriteComment(w, "hb")
+		for _, ev := range events {
+			data, _ := json.Marshal(ev)
+			_ = sse.WriteEvent(w, "1", string(ev.Kind), data)
+		}
+	}))
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := tail(context.Background(), &out, ts.URL); err != nil {
+		t.Fatalf("tail: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), out.String())
+	}
+	for i, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if ev.Seq != events[i].Seq || ev.Kind != events[i].Kind {
+			t.Errorf("line %d = %+v, want %+v", i, ev, events[i])
+		}
+	}
+}
+
+// TestRunBadFlags pins the non-zero path without a live server.
+func TestRunBadFlags(t *testing.T) {
+	if err := run(context.Background(), &strings.Builder{}, []string{"-addr", "http://\x7f"}); err == nil {
+		t.Fatal("malformed addr accepted")
+	}
+}

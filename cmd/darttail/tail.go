@@ -1,0 +1,44 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dart/internal/sse"
+)
+
+// tail streams one SSE endpoint to w as JSONL. Frame payloads are already
+// JSON objects (the service marshals obs.Event), so each data block goes
+// out verbatim on its own line; snapshot frames of per-job streams pass
+// through the same way. A clean server close (job finished, replay-only)
+// returns nil.
+func tail(ctx context.Context, w io.Writer, target string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: HTTP %d: %s", target, resp.StatusCode, body)
+	}
+	r := sse.NewReader(resp.Body)
+	for {
+		frame, err := r.Next()
+		if err == io.EOF || (err != nil && ctx.Err() != nil) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, frame.Data); err != nil {
+			return err
+		}
+	}
+}

@@ -33,15 +33,15 @@ var Scopes = map[string][]string{
 	},
 	retshim.Analyzer.Name: {"internal/core"},
 	spanleak.Analyzer.Name: {
-		"internal/core", "internal/milp", "internal/service", "internal/store",
-		"internal/validate", "cmd/dart", "cmd/dartd",
+		"internal/core", "internal/milp", "internal/obs", "internal/service",
+		"internal/store", "internal/validate", "cmd/dart", "cmd/dartd",
 	},
 	walorder.Analyzer.Name: {"internal/service"},
 	errsink.Analyzer.Name: {
 		"internal/store", "internal/service", "internal/analysis/...",
 	},
 	lockhold.Analyzer.Name: {
-		"internal/service", "internal/repair", "internal/store",
+		"internal/obs", "internal/service", "internal/repair", "internal/store",
 	},
 }
 

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"dart/internal/aggrcons"
 	"dart/internal/milp"
@@ -212,15 +213,28 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 	}
 	nodeWorkers := s.nodeWorkers(concurrent)
 
+	// Live aggregation: the components-solved plan/done timeline the
+	// progress endpoint folds into components_done/components_total. All
+	// no-ops (two nil checks, no allocation) unless the job's trace is
+	// bus-bound.
+	jobSpan := obs.FromContext(ctx)
+	jobSpan.Publish(obs.Event{Kind: obs.KindComponent, Name: "plan", Total: len(pending)})
+	var solvedComponents atomic.Int64
+
 	results := make([]*Result, len(pending))
 	reused := make([]bool, len(pending))
 	errs := make([]error, len(pending))
 	solveOne := func(ctx context.Context, i int, pc pendingComp) {
 		// One "repair.component" span per component solve: sizes up front,
-		// solver work (or the memo hit) on completion.
+		// solver work (or the memo hit) on completion. On a live trace the
+		// span is scope-tagged so every solver event the component's branch
+		// and bound publishes carries its component index.
 		if span := obs.FromContext(ctx).StartChild("repair.component"); span != nil {
 			defer span.End()
 			span.SetInt("component", pc.ci)
+			if span.IsLive() {
+				span.PublishScope("component:" + strconv.Itoa(pc.ci))
+			}
 			span.SetInt("vars", pc.sub.N())
 			span.SetInt("rows", len(pc.sub.Rows))
 			occ := 0
@@ -249,6 +263,8 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 		if m, ok := prob.lookupComponent(fp, pc.ci, key); ok {
 			results[i] = m.res
 			reused[i] = true
+			jobSpan.Publish(obs.Event{Kind: obs.KindComponent, Name: "done",
+				Done: int(solvedComponents.Add(1)), Total: len(pending)})
 			return
 		}
 		var warm []float64
@@ -266,6 +282,8 @@ func (s *MILPSolver) solvePrepared(ctx context.Context, prob *Problem, forced ma
 		}
 		prob.storeComponent(fp, pc.ci, key, res, vals)
 		results[i] = res
+		jobSpan.Publish(obs.Event{Kind: obs.KindComponent, Name: "done",
+			Done: int(solvedComponents.Add(1)), Total: len(pending)})
 	}
 	if concurrent > 1 {
 		// A failing component solve cancels its siblings instead of letting

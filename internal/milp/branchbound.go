@@ -50,6 +50,10 @@ type MILPOptions struct {
 	// observability to: one "milp.worker" child span per worker (node and
 	// LP-iteration counts) plus "incumbent" events on every incumbent
 	// replacement and a "cutoff" event when a warm-start cutoff is armed.
+	// When the span's trace is additionally bound to a live telemetry bus
+	// (obs.Span.Live), the search publishes a solver event timeline —
+	// incumbent / periodic progress / done, each with the bound, a monotone
+	// non-increasing optimality gap, and node throughput (see progress.go).
 	// Purely observational — it never changes results and never enters
 	// solver fingerprints; a nil Trace costs only nil checks.
 	Trace *obs.Span
@@ -236,8 +240,14 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 		rootUB:   rootUB,
 	}
 	sh := newBBShared(&bbNode{bound: math.Inf(-1)})
+	nw := opt.workerCount()
+	if opt.Trace.IsLive() {
+		// Live telemetry is armed once per solve; a solve whose trace is
+		// not bus-bound leaves sh.prog nil and pays nothing per node.
+		sh.prog = newBBSearchProgress(opt.Trace, nw)
+	}
 
-	if nw := opt.workerCount(); nw <= 1 {
+	if nw <= 1 {
 		p.runWorker(sh, 0)
 	} else {
 		var wg sync.WaitGroup
@@ -250,7 +260,11 @@ func branchAndBound(m *Model, opt MILPOptions) (*MILPResult, error) {
 		}
 		wg.Wait()
 	}
-	return sh.result()
+	res, err := sh.result()
+	if sh.prog != nil && err == nil {
+		sh.publishDone(p, res)
+	}
+	return res, err
 }
 
 // candidateObjective is the objective value committed for a feasible

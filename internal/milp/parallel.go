@@ -93,6 +93,7 @@ type bbShared struct {
 	hitLimit  bool // MaxNodes exhausted or an LP hit its iteration limit
 	unbounded bool // root relaxation unbounded
 	err       error
+	prog      *bbSearchProgress // live telemetry; nil unless the trace is bus-bound
 }
 
 func newBBShared(root *bbNode) *bbShared {
@@ -113,6 +114,7 @@ type bbWorker struct {
 	cand  []float64 // rounded-candidate scratch
 	chain []*bbNode // parent-chain scratch for materialize
 	span  *obs.Span // per-worker trace span (nil when tracing is off)
+	idx   int       // worker index (activeBound slot for live telemetry)
 	nodes int       // nodes this worker expanded (trace attribute)
 	iters int       // LP pivots this worker performed (trace attribute)
 }
@@ -129,6 +131,7 @@ func (p *bbProblem) runWorker(sh *bbShared, idx int) {
 		x:    make([]float64, nv),
 		cand: make([]float64, nv),
 		span: p.opt.Trace.StartChild("milp.worker"),
+		idx:  idx,
 	}
 	defer releaseSimplex(w.s)
 	if w.span != nil {
@@ -141,7 +144,7 @@ func (p *bbProblem) runWorker(sh *bbShared, idx int) {
 	}
 	first := true
 	for {
-		node, noInc := sh.next(p)
+		node, noInc := sh.next(p, w.idx)
 		if node == nil {
 			return
 		}
@@ -157,13 +160,16 @@ func (p *bbProblem) runWorker(sh *bbShared, idx int) {
 
 // publish commits one node outcome to the shared state and records an
 // "incumbent" event on the worker's span when the outcome replaced the
-// incumbent. Kept out of complete so the span work happens outside sh.mu.
+// incumbent. Kept out of complete so the span work — and any live
+// telemetry event captured under the lock — happens outside sh.mu.
 func (p *bbProblem) publish(sh *bbShared, w *bbWorker, out nodeOutcome) {
 	w.iters += out.iters
-	obj, improved := sh.complete(p, out)
+	out.worker = w.idx
+	obj, improved, snap := sh.complete(p, out)
 	if improved && w.span != nil {
 		w.span.EventFloat("incumbent", "objective", obj)
 	}
+	p.publishSnapshot(snap)
 }
 
 // materialize reconstructs node's effective bounds into the worker arrays
@@ -190,6 +196,7 @@ func (p *bbProblem) materialize(node *bbNode, w *bbWorker) {
 // under a single lock acquisition in bbShared.complete.
 type nodeOutcome struct {
 	iters     int
+	worker    int // publishing worker's activeBound slot
 	node      *bbNode
 	down, up  *bbNode // children to enqueue (nil = none)
 	cand      bool    // accepted candidate present
@@ -282,7 +289,7 @@ func (p *bbProblem) expand(sh *bbShared, w *bbWorker, node *bbNode, tryHeur bool
 // tells the worker to exit. Pops re-check pruning against the newest
 // incumbent, count the node, and mark the worker active so idle siblings
 // keep waiting for the children it may publish.
-func (sh *bbShared) next(p *bbProblem) (node *bbNode, noIncumbent bool) {
+func (sh *bbShared) next(p *bbProblem, idx int) (node *bbNode, noIncumbent bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for {
@@ -309,6 +316,11 @@ func (sh *bbShared) next(p *bbProblem) (node *bbNode, noIncumbent bool) {
 			}
 			sh.nodes++
 			sh.active++
+			if sh.prog != nil {
+				// The node leaves the frontier but its bound must keep
+				// holding the global lower bound down until it completes.
+				sh.prog.activeBound[idx] = n.bound
+			}
 			return n, !sh.inc.ok
 		}
 		if sh.active == 0 {
@@ -376,8 +388,10 @@ func (sh *bbShared) betterLocked(obj float64, accepted bool, seq string) bool {
 // offer candidates to the incumbent, enqueue surviving children, recycle
 // dead nodes, and update termination state — one lock acquisition per node.
 // It reports whether the outcome replaced the incumbent, and with what
-// objective, so publish can record the event without holding sh.mu.
-func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) (incObj float64, improved bool) {
+// objective, so publish can record the event without holding sh.mu; on a
+// live solve it also captures the telemetry snapshot publish emits after
+// releasing the lock.
+func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) (incObj float64, improved bool, snap progressSnapshot) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.iters += out.iters
@@ -389,12 +403,12 @@ func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) (incObj float64, imp
 			sh.err = out.err
 		}
 		sh.stopped = true
-		return 0, false
+		return 0, false, snap
 	}
 	if out.unbounded && !sh.inc.ok {
 		sh.unbounded = true
 		sh.stopped = true
-		return 0, false
+		return 0, false, snap
 	}
 	if out.iterLimit {
 		sh.hitLimit = true
@@ -441,7 +455,18 @@ func (sh *bbShared) complete(p *bbProblem, out nodeOutcome) (incObj float64, imp
 	if sh.active == 0 && len(sh.frontier) == 0 {
 		sh.stopped = true
 	}
-	return incObj, improved
+	if sh.prog != nil {
+		// This worker's node is fully accounted: its surviving children are
+		// on the frontier, so its bound no longer holds the lower bound.
+		sh.prog.activeBound[out.worker] = math.Inf(1)
+		switch {
+		case improved:
+			snap = sh.progressLocked(p, "incumbent")
+		case sh.nodes-sh.prog.lastNodes >= bbProgressEvery:
+			snap = sh.progressLocked(p, "progress")
+		}
+	}
+	return incObj, improved, snap
 }
 
 // result assembles the MILPResult after every worker has exited, matching

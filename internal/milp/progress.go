@@ -1,0 +1,173 @@
+// Live search-progress telemetry.
+//
+// When the solve's Trace span is bound to a telemetry bus (obs.Span.Live),
+// branch and bound publishes a timeline of solver events through it:
+//
+//	incumbent  a new best integral solution was committed
+//	progress   periodic checkpoint (every bbProgressEvery nodes)
+//	done       the search finished, with its terminal status
+//
+// Each event carries the incumbent objective, the global lower bound, the
+// relative optimality gap, the node count, and the node throughput. The
+// published gap is monotone non-increasing over the event stream: the
+// lower bound counts both the frontier AND the nodes workers are currently
+// expanding (activeBound) — best-first order alone makes the frontier
+// minimum non-monotone the moment its best node is popped for expansion —
+// and the gap is additionally clamped against the last published value,
+// since an improving incumbent shrinks the normalizing denominator.
+//
+// The whole subsystem is gated on one IsLive check at solve start: a
+// solve without a live trace allocates nothing here and pays zero
+// per-node cost (sh.prog stays nil).
+package milp
+
+import (
+	"math"
+	"time"
+
+	"dart/internal/obs"
+)
+
+// bbProgressEvery is the node interval between periodic progress events.
+const bbProgressEvery = 64
+
+// bbSearchProgress is the telemetry state of one live solve. activeBound
+// and the scalars are guarded by bbShared.mu.
+type bbSearchProgress struct {
+	span  *obs.Span
+	start time.Time
+	// activeBound[w] is the LP bound of the node worker w is currently
+	// expanding, +Inf while idle. It keeps the published lower bound
+	// monotone: the frontier minimum alone jumps upward whenever the best
+	// node is popped.
+	activeBound []float64
+	lastGap     float64 // last published gap; later events never exceed it
+	lastNodes   int     // node count at the last periodic publish
+}
+
+// newBBSearchProgress arms telemetry for one solve.
+func newBBSearchProgress(span *obs.Span, workers int) *bbSearchProgress {
+	ab := make([]float64, workers)
+	for i := range ab {
+		ab[i] = math.Inf(1)
+	}
+	return &bbSearchProgress{span: span, start: time.Now(), activeBound: ab, lastGap: 1}
+}
+
+// progressSnapshot is one solver event captured under bbShared.mu and
+// published after the lock is released.
+type progressSnapshot struct {
+	ok        bool
+	name      string // "incumbent" or "progress"
+	hasInc    bool
+	incumbent float64
+	bound     float64
+	gap       float64
+	nodes     int
+	rate      float64
+}
+
+// lowerBoundLocked is the strengthened global lower bound: the minimum
+// over the frontier and every node currently being expanded. +Inf means
+// the search space is exhausted.
+func (sh *bbShared) lowerBoundLocked(p *bbProblem) float64 {
+	lb := math.Inf(1)
+	if len(sh.frontier) > 0 {
+		lb = sh.frontier[0].bound // heap root = minimum bound
+	}
+	for _, b := range sh.prog.activeBound {
+		//dartvet:allow floatcmp -- exact min over bounds; a tolerance would only bias the reported gap
+		if b < lb {
+			lb = b
+		}
+	}
+	return p.strengthen(lb)
+}
+
+// progressLocked captures one solver event. The gap is relative —
+// (incumbent − lb) / max(|incumbent|, 1) — clamped into [0, 1] and against
+// the last published value, so consumers see a monotone non-increasing
+// convergence signal.
+func (sh *bbShared) progressLocked(p *bbProblem, name string) progressSnapshot {
+	snap := progressSnapshot{ok: true, name: name, nodes: sh.nodes}
+	lb := sh.lowerBoundLocked(p)
+	gap := 1.0
+	if sh.inc.ok {
+		snap.hasInc = true
+		snap.incumbent = sh.inc.obj
+		//dartvet:allow floatcmp -- telemetry clamp, not a pruning decision; exactness only affects the displayed gap
+		if math.IsInf(lb, 1) || lb > sh.inc.obj {
+			// Exhausted (or only worse subtrees remain): the incumbent is
+			// the proven optimum.
+			lb = sh.inc.obj
+		}
+		gap = (sh.inc.obj - lb) / math.Max(math.Abs(sh.inc.obj), 1)
+	}
+	if !math.IsInf(lb, 0) {
+		snap.bound = lb
+	}
+	if gap < 0 {
+		gap = 0
+	}
+	//dartvet:allow floatcmp -- monotonicity clamp against the last published gap; fuzzing would let the gap tick upward
+	if gap > sh.prog.lastGap {
+		gap = sh.prog.lastGap
+	}
+	sh.prog.lastGap = gap
+	snap.gap = gap
+	if el := time.Since(sh.prog.start).Seconds(); el > 0 {
+		snap.rate = float64(sh.nodes) / el
+	}
+	sh.prog.lastNodes = sh.nodes
+	return snap
+}
+
+// publishSnapshot emits one captured event through the solve's trace
+// binding; called without sh.mu held.
+func (p *bbProblem) publishSnapshot(snap progressSnapshot) {
+	if !snap.ok {
+		return
+	}
+	ev := obs.Event{
+		Kind:        obs.KindSolver,
+		Name:        snap.name,
+		Bound:       snap.bound,
+		Gap:         snap.gap,
+		Nodes:       int64(snap.nodes),
+		NodesPerSec: snap.rate,
+	}
+	if snap.hasInc {
+		ev.Incumbent = snap.incumbent
+	}
+	p.opt.Trace.Publish(ev)
+}
+
+// publishDone emits the terminal solver event after every worker exited.
+// A proven-optimal or infeasible search reports gap 0; an interrupted one
+// (node/iteration limit, cancellation) reports the last clamped gap.
+func (sh *bbShared) publishDone(p *bbProblem, res *MILPResult) {
+	sh.mu.Lock()
+	gap := sh.prog.lastGap
+	rate := 0.0
+	if el := time.Since(sh.prog.start).Seconds(); el > 0 {
+		rate = float64(sh.nodes) / el
+	}
+	inc := sh.inc
+	sh.mu.Unlock()
+	if res.Status == StatusOptimal || res.Status == StatusInfeasible || res.Status == StatusUnbounded {
+		gap = 0
+	}
+	ev := obs.Event{
+		Kind:        obs.KindSolver,
+		Name:        "done",
+		State:       res.Status.String(),
+		Gap:         gap,
+		Nodes:       int64(res.Nodes),
+		NodesPerSec: rate,
+	}
+	if inc.ok {
+		ev.Incumbent = inc.obj
+		ev.Bound = inc.obj - gap*math.Max(math.Abs(inc.obj), 1)
+	}
+	p.opt.Trace.Publish(ev)
+}

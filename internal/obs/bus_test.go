@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestBus(ring, buffer int) *Bus {
+	return NewBus(BusConfig{Ring: ring, Buffer: buffer, Now: fakeClock()})
+}
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := newTestBus(16, 8)
+	sub, replay := b.Subscribe("test", 8)
+	if len(replay) != 0 {
+		t.Fatalf("fresh bus replay = %d events, want 0", len(replay))
+	}
+	b.Publish(Event{Kind: KindJob, Name: "state", JobID: "job-1", State: "running"})
+	b.Publish(Event{Kind: KindQueue, Name: "depth", Depth: 3})
+
+	ev := <-sub.C()
+	if ev.Seq != 1 || ev.Kind != KindJob || ev.State != "running" {
+		t.Fatalf("first event = %+v", ev)
+	}
+	if ev.UnixNano == 0 {
+		t.Fatal("event not timestamped")
+	}
+	ev = <-sub.C()
+	if ev.Seq != 2 || ev.Kind != KindQueue || ev.Depth != 3 {
+		t.Fatalf("second event = %+v", ev)
+	}
+	sub.Close()
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel still open after Close")
+	}
+	sub.Close() // idempotent
+}
+
+func TestBusReplayThenLiveIsGapless(t *testing.T) {
+	b := newTestBus(8, 8)
+	for i := 0; i < 12; i++ { // overflow the ring: oldest 4 evicted
+		b.Publish(Event{Kind: KindSolver, Name: "progress", JobID: "job-1", Nodes: int64(i)})
+	}
+	sub, replay := b.Subscribe("test", 8)
+	defer sub.Close()
+	if len(replay) != 8 {
+		t.Fatalf("replay = %d events, want ring size 8", len(replay))
+	}
+	if replay[0].Seq != 5 || replay[7].Seq != 12 {
+		t.Fatalf("replay seq range [%d,%d], want [5,12]", replay[0].Seq, replay[7].Seq)
+	}
+	b.Publish(Event{Kind: KindSolver, Name: "done", JobID: "job-1"})
+	live := <-sub.C()
+	if live.Seq != replay[len(replay)-1].Seq+1 {
+		t.Fatalf("live seq %d does not continue replay seq %d", live.Seq, replay[len(replay)-1].Seq)
+	}
+}
+
+func TestBusSlowSubscriberDrops(t *testing.T) {
+	b := newTestBus(64, 4)
+	slow, _ := b.Subscribe("slow", 2)
+	fast, _ := b.Subscribe("fast", 64)
+	defer slow.Close()
+	defer fast.Close()
+
+	// Publish concurrently without draining "slow": beyond its buffer of 2
+	// every event must be dropped, never blocking the publishers.
+	const n = 40
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				b.Publish(Event{Kind: KindSolver, Name: "progress", JobID: fmt.Sprintf("job-%d", w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := slow.Dropped(); got != n-2 {
+		t.Fatalf("slow.Dropped() = %d, want %d", got, n-2)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Fatalf("fast.Dropped() = %d, want 0", got)
+	}
+	drops := b.DroppedByName()
+	if drops["slow"] != n-2 || drops["fast"] != 0 {
+		t.Fatalf("DroppedByName() = %v", drops)
+	}
+	// The fast subscriber saw every event exactly once, in seq order.
+	seen := 0
+	var last uint64
+	for len(fast.C()) > 0 {
+		ev := <-fast.C()
+		if ev.Seq <= last {
+			t.Fatalf("out-of-order seq %d after %d", ev.Seq, last)
+		}
+		last = ev.Seq
+		seen++
+	}
+	if seen != n {
+		t.Fatalf("fast subscriber saw %d events, want %d", seen, n)
+	}
+}
+
+func TestBusProgressAggregation(t *testing.T) {
+	b := newTestBus(64, 8)
+	pub := func(ev Event) { ev.JobID = "job-1"; b.Publish(ev) }
+
+	pub(Event{Kind: KindJob, Name: "state", State: "running"})
+	pub(Event{Kind: KindComponent, Name: "plan", Total: 2})
+	pub(Event{Kind: KindSolver, Name: "progress", Scope: "component:0", Incumbent: 10, Bound: 2, Gap: 0.8, Nodes: 100, NodesPerSec: 50})
+	pub(Event{Kind: KindSolver, Name: "progress", Scope: "component:1", Incumbent: 5, Bound: 4, Gap: 0.2, Nodes: 40, NodesPerSec: 20})
+
+	p, ok := b.Progress("job-1")
+	if !ok {
+		t.Fatal("no progress for job-1")
+	}
+	if p.State != "running" || p.ComponentsTotal != 2 || p.ComponentsDone != 0 {
+		t.Fatalf("progress = %+v", p)
+	}
+	if p.WorstGap != 0.8 {
+		t.Fatalf("WorstGap = %v, want 0.8 (the worse of the two open components)", p.WorstGap)
+	}
+	if p.Nodes != 140 {
+		t.Fatalf("Nodes = %d, want 140 (summed across scopes)", p.Nodes)
+	}
+	if p.Gap != 0.2 || p.Incumbent != 5 {
+		t.Fatalf("freshest solver fields not reflected: %+v", p)
+	}
+
+	// Component 0 finishes: its gap leaves the worst-gap pool.
+	pub(Event{Kind: KindSolver, Name: "done", Scope: "component:0", Incumbent: 3, Bound: 3, Gap: 0, Nodes: 200})
+	pub(Event{Kind: KindComponent, Name: "done", Done: 1, Total: 2})
+	p, _ = b.Progress("job-1")
+	if p.WorstGap != 0.2 {
+		t.Fatalf("WorstGap after component 0 done = %v, want 0.2", p.WorstGap)
+	}
+	if p.ComponentsDone != 1 || p.Nodes != 240 {
+		t.Fatalf("progress after done = %+v", p)
+	}
+
+	// Terminal job state clears the open-search pool.
+	pub(Event{Kind: KindJob, Name: "state", State: "succeeded"})
+	p, _ = b.Progress("job-1")
+	if p.State != "succeeded" || p.WorstGap != 0 {
+		t.Fatalf("terminal progress = %+v", p)
+	}
+	if p.LastSeq != b.Seq() {
+		t.Fatalf("LastSeq = %d, want %d", p.LastSeq, b.Seq())
+	}
+
+	all := b.AllProgress()
+	if len(all) != 1 || all[0].JobID != "job-1" {
+		t.Fatalf("AllProgress() = %+v", all)
+	}
+	if _, ok := b.Progress("job-2"); ok {
+		t.Fatal("progress reported for unknown job")
+	}
+}
+
+func TestBusProgressEviction(t *testing.T) {
+	b := newTestBus(8, 8)
+	for i := 0; i < progressCap+10; i++ {
+		id := fmt.Sprintf("job-%04d", i)
+		b.Publish(Event{Kind: KindJob, Name: "state", JobID: id, State: "running"})
+		if i < 20 {
+			b.Publish(Event{Kind: KindJob, Name: "state", JobID: id, State: "succeeded"})
+		}
+	}
+	if got := len(b.AllProgress()); got != progressCap {
+		t.Fatalf("retained %d progress aggregates, want %d", got, progressCap)
+	}
+	// Terminal jobs are evicted before running ones.
+	if _, ok := b.Progress("job-0000"); ok {
+		t.Fatal("oldest terminal job should have been evicted")
+	}
+	if _, ok := b.Progress("job-0025"); !ok {
+		t.Fatal("running job evicted while terminal jobs remained")
+	}
+}
+
+func TestSpanLivePublish(t *testing.T) {
+	b := newTestBus(32, 8)
+	tr := New(Config{Now: fakeClock()})
+	sub, _ := b.Subscribe("test", 32)
+	defer sub.Close()
+
+	root := tr.StartTrace("job")
+	if root.IsLive() {
+		t.Fatal("unbound span reports IsLive")
+	}
+	root.Live(b, "job-7")
+	if !root.IsLive() {
+		t.Fatal("bound span does not report IsLive")
+	}
+
+	comp := root.StartChild("repair.component")
+	comp.PublishScope("component:3")
+	if !comp.IsLive() {
+		t.Fatal("child of a live trace must be live")
+	}
+	comp.Publish(Event{Kind: KindSolver, Name: "incumbent", Incumbent: 4, Gap: 0.5})
+
+	ev := <-sub.C()
+	if ev.JobID != "job-7" || ev.TraceID != root.TraceID() || ev.Scope != "component:3" {
+		t.Fatalf("stamped event = %+v", ev)
+	}
+	if ev.Kind != KindSolver || ev.Incumbent != 4 {
+		t.Fatalf("payload lost: %+v", ev)
+	}
+
+	// Grandchildren inherit the scope; completion events carry it too.
+	worker := comp.StartChild("bb.worker")
+	worker.End()
+	ev = <-sub.C()
+	if ev.Kind != KindSpan || ev.Name != "bb.worker" || ev.Scope != "component:3" {
+		t.Fatalf("span completion event = %+v", ev)
+	}
+	if ev.Value <= 0 {
+		t.Fatalf("span completion duration = %v ms, want > 0", ev.Value)
+	}
+	comp.End()
+	root.End()
+	// job span + component span completions follow.
+	for _, want := range []string{"repair.component", "job"} {
+		ev = <-sub.C()
+		if ev.Kind != KindSpan || ev.Name != want {
+			t.Fatalf("completion event = %+v, want span %q", ev, want)
+		}
+	}
+	if p, ok := b.Progress("job-7"); !ok || p.Gap != 0.5 {
+		t.Fatalf("progress from span publish = %+v ok=%v", p, ok)
+	}
+}
+
+func TestTracerDroppedSpans(t *testing.T) {
+	tr := New(Config{Capacity: 2, Now: fakeClock()})
+	if tr.DroppedSpans() != 0 {
+		t.Fatal("fresh tracer reports drops")
+	}
+	// Three one-span traces through a capacity-2 ring: one trace evicted.
+	for i := 0; i < 3; i++ {
+		tr.StartTrace("job").End()
+	}
+	if got := tr.DroppedSpans(); got != 1 {
+		t.Fatalf("DroppedSpans after eviction = %d, want 1", got)
+	}
+	// A child ending after its root sealed the trace is a post-seal drop.
+	root := tr.StartTrace("job")
+	late := root.StartChild("straggler")
+	root.End()
+	late.End()
+	if got := tr.DroppedSpans(); got != 3 {
+		// 1 eviction + 2 spans of the now-evicted oldest retained trace...
+		// Capacity 2: finishing the 4th trace evicts the 2nd (1 span), and
+		// the straggler adds 1: total 1+1+1 = 3.
+		t.Fatalf("DroppedSpans after straggler = %d, want 3", got)
+	}
+}
+
+// TestBusDisabledZeroAllocs is the bus analogue of TestNoopZeroAllocs:
+// with no bus bound — nil *Bus, nil span, or a traced span never marked
+// Live — every publish-side call must allocate nothing, so instrumented
+// hot paths cost only nil checks when telemetry is off.
+func TestBusDisabledZeroAllocs(t *testing.T) {
+	var nilBus *Bus
+	var nilSpan *Span
+	tr := New(Config{Now: fakeClock()})
+	unbound := tr.StartTrace("job") // traced but not live
+	defer unbound.End()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		nilBus.Publish(Event{Kind: KindSolver, Name: "progress", Gap: 0.5})
+		if nilBus.Seq() != 0 {
+			t.Fatal("nil bus has a sequence")
+		}
+		if sub, replay := nilBus.Subscribe("x", 4); sub != nil || replay != nil {
+			t.Fatal("nil bus returned a subscriber")
+		}
+		if nilBus.Replay() != nil || nilBus.DroppedByName() != nil || nilBus.AllProgress() != nil {
+			t.Fatal("nil bus returned data")
+		}
+		if _, ok := nilBus.Progress("job-1"); ok {
+			t.Fatal("nil bus has progress")
+		}
+		nilSpan.Live(nilBus, "job-1")
+		nilSpan.PublishScope("component:0")
+		nilSpan.Publish(Event{Kind: KindSolver, Name: "incumbent"})
+		if nilSpan.IsLive() {
+			t.Fatal("nil span is live")
+		}
+		if unbound.IsLive() {
+			t.Fatal("unbound span is live")
+		}
+		unbound.Publish(Event{Kind: KindSolver, Name: "incumbent"})
+		var nilSub *Subscriber
+		if nilSub.C() != nil || nilSub.Dropped() != 0 {
+			t.Fatal("nil subscriber has state")
+		}
+		nilSub.Close()
+	})
+	if allocs > 0 {
+		t.Fatalf("disabled bus path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkEventBusPublish(b *testing.B) {
+	bus := NewBus(BusConfig{Ring: 1024, Buffer: 256})
+	sub, _ := bus.Subscribe("bench", 256)
+	done := make(chan struct{})
+	go func() { // drain so the subscriber path is exercised, drops allowed
+		for range sub.C() {
+		}
+		close(done)
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Kind: KindSolver, Name: "progress", JobID: "job-1",
+			Scope: "component:0", Incumbent: 12, Bound: 8, Gap: 0.33, Nodes: int64(i)})
+	}
+	b.StopTimer()
+	sub.Close()
+	<-done
+}
+
+func BenchmarkEventBusPublishDisabled(b *testing.B) {
+	var bus *Bus
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Kind: KindSolver, Name: "progress", Nodes: int64(i)})
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,6 +54,7 @@ type Tracer struct {
 	order     []string // finished-trace IDs, oldest first
 	rng       *rand.Rand
 	now       func() time.Time
+	dropped   atomic.Uint64 // spans lost to ring eviction or post-seal ends
 }
 
 // New creates a tracer.
@@ -158,6 +160,10 @@ func (t *Tracer) finish(tr *Trace) {
 	t.traces[tr.TraceID] = tr
 	t.order = append(t.order, tr.TraceID)
 	for len(t.order) > t.capacity {
+		evicted := t.traces[t.order[0]]
+		if evicted != nil {
+			t.dropped.Add(uint64(len(evicted.Spans)))
+		}
 		delete(t.traces, t.order[0])
 		t.order = t.order[1:]
 	}
@@ -166,15 +172,38 @@ func (t *Tracer) finish(tr *Trace) {
 	}
 }
 
+// DroppedSpans returns how many span records the tracer has discarded —
+// spans of traces evicted from the ring buffer plus spans that ended
+// after their trace was sealed. Exposed as dart_trace_spans_dropped_total.
+func (t *Tracer) DroppedSpans() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
 // activeTrace is a trace still being recorded: finished spans accumulate
 // until the root span ends.
 type activeTrace struct {
 	id   string
 	root *Span
 
+	// live, when set, routes Publish calls from any span of this trace
+	// onto a telemetry bus, stamped with the bound job ID. It is an atomic
+	// pointer so hot-path publish sites pay one load to discover the bus
+	// is absent.
+	live atomic.Pointer[liveBinding]
+
 	mu    sync.Mutex
 	spans []*SpanRecord
 	done  bool
+}
+
+// liveBinding ties an in-flight trace to a telemetry bus and the job it
+// belongs to.
+type liveBinding struct {
+	bus   *Bus
+	jobID string
 }
 
 // add appends one finished span. Spans ending after the root (which
@@ -222,6 +251,7 @@ type Span struct {
 	attrs  []Attr
 	events []EventRecord
 	ended  bool
+	scope  string // stamped onto live events published through this span
 }
 
 // Attr is one key/value annotation of a span or event.
@@ -230,11 +260,15 @@ type Attr struct {
 	Value any
 }
 
-// StartChild begins a child span. On a nil receiver it returns nil.
+// StartChild begins a child span. On a nil receiver it returns nil. The
+// child inherits the parent's publish scope.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	scope := s.scope
+	s.mu.Unlock()
 	return &Span{
 		tracer: s.tracer,
 		trace:  s.trace,
@@ -242,7 +276,66 @@ func (s *Span) StartChild(name string) *Span {
 		parent: s.id,
 		name:   name,
 		start:  s.tracer.now(),
+		scope:  scope,
 	}
+}
+
+// Live binds the span's trace to a telemetry bus under the given job ID:
+// from now on, Publish calls on any span of this trace (and span
+// completions) flow onto bus stamped with the trace and job IDs. A nil
+// span or nil bus leaves the trace unbound.
+func (s *Span) Live(bus *Bus, jobID string) {
+	if s == nil || bus == nil {
+		return
+	}
+	s.trace.live.Store(&liveBinding{bus: bus, jobID: jobID})
+}
+
+// IsLive reports whether live events published through this span reach a
+// bus. Hot paths gate their telemetry computation on it: on a nil span or
+// an unbound trace it costs a nil check plus one atomic load and never
+// allocates.
+func (s *Span) IsLive() bool {
+	return s != nil && s.trace.live.Load() != nil
+}
+
+// PublishScope tags the span: live events published through it (and
+// through children started afterwards) carry this Scope, locating them
+// within the job — e.g. "component:2".
+func (s *Span) PublishScope(scope string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.scope = scope
+	s.mu.Unlock()
+}
+
+// Publish emits a live event through the span's trace binding, stamping
+// the trace ID, bound job ID, and the span's publish scope (each only if
+// the event does not already carry one). Without a binding — nil span,
+// no tracer, or a trace never marked Live — it is a no-op that allocates
+// nothing.
+func (s *Span) Publish(ev Event) {
+	if s == nil {
+		return
+	}
+	lb := s.trace.live.Load()
+	if lb == nil {
+		return
+	}
+	if ev.TraceID == "" {
+		ev.TraceID = s.trace.id
+	}
+	if ev.JobID == "" {
+		ev.JobID = lb.jobID
+	}
+	if ev.Scope == "" {
+		s.mu.Lock()
+		ev.Scope = s.scope
+		s.mu.Unlock()
+	}
+	lb.bus.Publish(ev)
 }
 
 // TraceID returns the span's trace identifier ("" on a nil receiver).
@@ -364,8 +457,21 @@ func (s *Span) End() {
 			rec.Attrs[a.Key] = a.Value
 		}
 	}
+	scope := s.scope
 	s.mu.Unlock()
-	s.trace.add(rec)
+	if !s.trace.add(rec) {
+		s.tracer.dropped.Add(1)
+	}
+	if lb := s.trace.live.Load(); lb != nil {
+		lb.bus.Publish(Event{
+			Kind:    KindSpan,
+			Name:    s.name,
+			JobID:   lb.jobID,
+			TraceID: s.trace.id,
+			Scope:   scope,
+			Value:   float64(rec.DurationNS) / 1e6,
+		})
+	}
 	if s == s.trace.root {
 		spans := s.trace.seal()
 		s.tracer.finish(&Trace{

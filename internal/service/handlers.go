@@ -24,8 +24,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/suggestions", s.handleSuggestions)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/suggestions/{sid}", s.handleSuggestionDecision)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/workbench", s.handleWorkbench)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleJobProgress)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.enablePprof {
 		// The debug mux of net/http/pprof registers on DefaultServeMux;

@@ -108,6 +108,10 @@ type Metrics struct {
 	repairDecisions map[repair.Kind]uint64
 	decisionSeconds *histogram
 	openSuggestions func() int
+	// Telemetry-loss samplers: spans the tracer discarded (ring eviction,
+	// post-seal ends) and live events dropped per slow subscriber.
+	droppedSpans  func() uint64
+	droppedEvents func() map[string]uint64
 
 	// Runtime sampling hooks, overridden by the golden exposition test so
 	// /metrics output is reproducible; production uses the defaults.
@@ -270,6 +274,23 @@ func (m *Metrics) BindSuggestions(f func() int) {
 	m.openSuggestions = f
 }
 
+// BindTracer attaches the tracer's dropped-spans sampler, exposed as
+// dart_trace_spans_dropped_total. The family is emitted unconditionally
+// (0 while unbound) so dashboards never see it appear out of nowhere.
+func (m *Metrics) BindTracer(droppedSpans func() uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.droppedSpans = droppedSpans
+}
+
+// BindBus attaches the bus's per-subscriber drop sampler, exposed as
+// dart_events_dropped_total{subscriber}.
+func (m *Metrics) BindBus(droppedEvents func() map[string]uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.droppedEvents = droppedEvents
+}
+
 // Bind attaches the live gauges (queue depth, job worker count, and the
 // per-job branch-and-bound worker budget) the registry samples at
 // exposition time.
@@ -396,6 +417,31 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# HELP dartd_result_cache_misses_total Jobs that ran the pipeline (result cache miss or cache disabled).")
 	fmt.Fprintln(w, "# TYPE dartd_result_cache_misses_total counter")
 	fmt.Fprintf(w, "dartd_result_cache_misses_total %d\n", m.cacheMisses)
+
+	// Telemetry-loss counters: emitted unconditionally (0 when the tracer
+	// or bus is absent) so the golden exposition stays deterministic and
+	// dashboards can alert on any nonzero rate.
+	fmt.Fprintln(w, "# HELP dart_trace_spans_dropped_total Span records discarded by the tracer (ring-buffer eviction or spans ending after their trace sealed).")
+	fmt.Fprintln(w, "# TYPE dart_trace_spans_dropped_total counter")
+	var spansDropped uint64
+	if m.droppedSpans != nil {
+		spansDropped = m.droppedSpans()
+	}
+	fmt.Fprintf(w, "dart_trace_spans_dropped_total %d\n", spansDropped)
+
+	fmt.Fprintln(w, "# HELP dart_events_dropped_total Live telemetry events dropped per slow subscriber.")
+	fmt.Fprintln(w, "# TYPE dart_events_dropped_total counter")
+	if m.droppedEvents != nil {
+		drops := m.droppedEvents()
+		names := make([]string, 0, len(drops))
+		for name := range drops {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "dart_events_dropped_total{subscriber=%q} %d\n", name, drops[name])
+		}
+	}
 
 	if m.storeStats != nil {
 		st := m.storeStats()

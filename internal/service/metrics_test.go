@@ -108,6 +108,8 @@ func TestMetricsGoldenExposition(t *testing.T) {
 	m.RepairEvent(repair.Event{Kind: repair.KindSuperseded})
 	m.Bind(func() int { return 4 }, 8, 2)
 	m.BindSuggestions(func() int { return 3 })
+	m.BindTracer(func() uint64 { return 2 })
+	m.BindBus(func() map[string]uint64 { return map[string]uint64{"job": 1, "firehose": 5} })
 
 	var buf bytes.Buffer
 	m.WritePrometheus(&buf)

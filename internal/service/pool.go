@@ -71,6 +71,10 @@ type Pool struct {
 	// with every pipeline stage, solved component, and validation iteration
 	// beneath it. Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// Bus, when non-nil (and with a Tracer configured), binds each job's
+	// trace to the live telemetry bus, so solver search progress, component
+	// aggregation, and span completions stream while the job runs.
+	Bus *obs.Bus
 	// Logger, when non-nil, emits one structured line per finished job,
 	// keyed by job and trace IDs.
 	Logger *slog.Logger
@@ -164,6 +168,7 @@ func (p *Pool) runJob(job *Job) {
 		span.SetStr("job_id", job.ID)
 		span.SetStr("scenario", job.Spec.Scenario)
 		span.SetStr("solver", job.Spec.Solver)
+		span.Live(p.Bus, job.ID)
 		ctx = obs.ContextWithSpan(ctx, span)
 		p.Queue.setTrace(job, span.TraceID())
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dart/internal/obs"
 	"dart/internal/repair"
 	"dart/internal/store"
 )
@@ -124,6 +125,12 @@ type Queue struct {
 	// onStoreError observes non-fatal persistence failures; it runs under
 	// mu and must not call back into the queue.
 	onStoreError func(error)
+	// bus, when non-nil, receives one job-state event per lifecycle
+	// transition plus queue-depth events. Publishes happen under mu on
+	// purpose: the bus-visible event order then matches the transition
+	// order exactly, and Bus.Publish never blocks (slow subscribers drop),
+	// so holding mu across it is safe.
+	bus *obs.Bus
 }
 
 // NewQueue creates a queue holding at most capacity pending jobs
@@ -166,6 +173,7 @@ func (q *Queue) Submit(spec JobSpec) (JobView, error) {
 	q.ch <- job
 	q.jobs[job.ID] = job
 	q.order = append(q.order, job.ID)
+	q.publishJobLocked(job)
 	return viewLocked(job, false), nil
 }
 
@@ -237,6 +245,31 @@ func (q *Queue) ListPage(state JobState, cursor string, limit int) (page []JobVi
 // channel is an atomic runtime query lockcheck exempts.
 func (q *Queue) Depth() int { return len(q.ch) }
 
+// Accepting reports whether a submission right now could be admitted:
+// the queue is open and has pending capacity left. It feeds /readyz.
+func (q *Queue) Accepting() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return !q.closed && len(q.ch) < cap(q.ch)
+}
+
+// publishJobLocked emits one job lifecycle event plus the current queue
+// depth; the caller holds q.mu.
+func (q *Queue) publishJobLocked(job *Job) {
+	if q.bus == nil {
+		return
+	}
+	q.bus.Publish(obs.Event{
+		Kind:    obs.KindJob,
+		Name:    "state",
+		JobID:   job.ID,
+		TraceID: job.TraceID,
+		State:   string(job.State),
+		Done:    job.Attempts,
+	})
+	q.bus.Publish(obs.Event{Kind: obs.KindQueue, Name: "depth", Depth: len(q.ch)})
+}
+
 // CountByState tallies jobs per state.
 func (q *Queue) CountByState() map[JobState]int {
 	q.mu.Lock()
@@ -275,6 +308,7 @@ func (q *Queue) setRunning(job *Job) (wait time.Duration, first bool) {
 	job.State = StateRunning
 	job.Attempts++
 	q.appendTransitionLocked(job, now)
+	q.publishJobLocked(job)
 	return wait, first
 }
 
@@ -345,6 +379,7 @@ func (q *Queue) finish(job *Job, state JobState, result *ResultJSON, err error) 
 	}
 	q.appendResultLocked(job)
 	q.appendTransitionLocked(job, job.FinishedAt)
+	q.publishJobLocked(job)
 }
 
 // detachStore severs the queue from its store without syncing, leaving

@@ -39,6 +39,14 @@ type Config struct {
 	// Tracer, when non-nil, records one span tree per job and serves it on
 	// GET /v1/jobs/{id}/trace and GET /debug/traces. Nil disables tracing.
 	Tracer *obs.Tracer
+	// Bus, when non-nil, is the live telemetry bus: job lifecycle,
+	// queue-depth, span-completion, ledger and solver search-progress
+	// events stream from it over GET /v1/events and
+	// GET /v1/jobs/{id}/events, with per-job aggregates on
+	// GET /v1/jobs/{id}/progress. Solver and span events additionally
+	// require a Tracer — the job's trace is the conduit that carries them
+	// onto the bus. Nil disables live events at zero cost.
+	Bus *obs.Bus
 	// Logger, when non-nil, emits structured request and job logs.
 	Logger *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
@@ -60,22 +68,28 @@ type Config struct {
 //	GET  /v1/jobs                        list jobs (results omitted)
 //	GET  /v1/jobs/{id}                   one job, result included when terminal
 //	GET  /v1/jobs/{id}/trace             the job's finished span tree (tracing only)
+//	GET  /v1/jobs/{id}/events            SSE: the job's events, replay then live (bus only)
+//	GET  /v1/jobs/{id}/progress          live per-job progress aggregate (bus only)
 //	GET  /v1/jobs/{id}/suggestions       suggestion records of a validation session
 //	POST /v1/jobs/{id}/suggestions/{sid} accept/reject/revert one suggestion
 //	GET  /v1/jobs/{id}/workbench         embedded operator workbench page
+//	GET  /v1/events                      SSE firehose with kind filters (bus only)
 //	GET  /debug/traces                   the N slowest recent traces (tracing only)
 //	GET  /debug/pprof/                   runtime profiles (Config.EnablePprof only)
 //	GET  /healthz                        liveness; 503 while draining
+//	GET  /readyz                         readiness: replay done, pool started, queue accepting
 //	GET  /metrics                        Prometheus text format
 type Server struct {
 	queue         *Queue
 	pool          *Pool
 	metrics       *Metrics
 	tracer        *obs.Tracer
+	bus           *obs.Bus
 	logger        *slog.Logger
 	enablePprof   bool
 	mux           *http.ServeMux
 	draining      atomic.Bool
+	started       atomic.Bool
 	recovery      *RecoveryStats
 	solverWorkers int
 }
@@ -87,6 +101,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		metrics:       NewMetrics(),
 		tracer:        cfg.Tracer,
+		bus:           cfg.Bus,
 		logger:        cfg.Logger,
 		enablePprof:   cfg.EnablePprof,
 		mux:           http.NewServeMux(),
@@ -138,10 +153,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ResultCacheSize > 0 {
 		run = CachingRunner(run, cfg.ResultCacheSize, s.metrics)
 	}
+	// The queue publishes job-state and depth events; the pool binds each
+	// job's trace to the bus so solver/component/span events flow too.
+	s.queue.bus = cfg.Bus
 	s.pool = &Pool{
 		Queue:   s.queue,
 		Workers: cfg.Workers,
 		Run:     run,
+		Bus:     cfg.Bus,
 		// Validation-session jobs need the Job handle (to publish their
 		// ledger) and must bypass the result cache: their outcome depends
 		// on live operator decisions, not the spec alone.
@@ -164,12 +183,28 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.metrics.Bind(s.queue.Depth, s.pool.workerCount(), bb)
 	s.metrics.BindSuggestions(s.queue.OpenSuggestions)
+	if cfg.Tracer != nil {
+		s.metrics.BindTracer(cfg.Tracer.DroppedSpans)
+	}
+	if cfg.Bus != nil {
+		s.metrics.BindBus(cfg.Bus.DroppedByName)
+	}
 	s.routes()
 	return s, nil
 }
 
 // Start launches the worker pool.
-func (s *Server) Start() { s.pool.Start() }
+func (s *Server) Start() {
+	s.pool.Start()
+	s.started.Store(true)
+}
+
+// Ready reports readiness: construction finished (store replay included),
+// the pool is started, shutdown has not begun, and the queue can admit a
+// submission.
+func (s *Server) Ready() bool {
+	return s.started.Load() && !s.draining.Load() && s.queue.Accepting()
+}
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -182,6 +217,9 @@ func (s *Server) Queue() *Queue { return s.queue }
 
 // Tracer exposes the span recorder, nil when tracing is off (tests).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Bus exposes the live telemetry bus, nil when live events are off (tests).
+func (s *Server) Bus() *obs.Bus { return s.bus }
 
 // Recovery reports the boot-time store replay, nil without a store.
 func (s *Server) Recovery() *RecoveryStats { return s.recovery }

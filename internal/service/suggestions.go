@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"dart"
+	"dart/internal/obs"
 	"dart/internal/repair"
 )
 
@@ -67,6 +68,14 @@ func (s *Server) runValidation(ctx context.Context, job *Job) (*ResultJSON, erro
 	ledger.SetObserver(func(ev repair.Event) {
 		s.queue.noteRepairEvent(job, ev)
 		s.metrics.RepairEvent(ev)
+		s.bus.Publish(obs.Event{
+			Kind:  obs.KindLedger,
+			Name:  string(ev.Kind),
+			JobID: job.ID,
+			Scope: "suggestion:" + strconv.Itoa(ev.Suggestion.ID),
+			State: string(ev.Suggestion.State),
+			Value: ev.Suggestion.Confidence,
+		})
 	})
 	p.Decider = apiDecider{}
 	p.Ledger = ledger
@@ -295,7 +304,18 @@ async function refresh() {
   }
 }
 refresh();
-setInterval(refresh, 2000);
+// Prefer push over poll: tail the job's live event stream and re-fetch on
+// every ledger or job-state change. When the stream is unavailable (bus
+// disabled, proxy strips SSE, old browser) fall back to 2s polling.
+function poll() { setInterval(refresh, 2000); }
+if (window.EventSource) {
+  const es = new EventSource("/v1/jobs/" + jobID + "/events?kind=ledger,job");
+  es.addEventListener("ledger", refresh);
+  es.addEventListener("job", refresh);
+  es.onerror = () => { es.close(); poll(); };
+} else {
+  poll();
+}
 </script>
 </body>
 </html>

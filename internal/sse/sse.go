@@ -1,0 +1,120 @@
+// Package sse implements the client side of the Server-Sent Events wire
+// format (the text/event-stream frames dartd emits on /v1/events and
+// /v1/jobs/{id}/events): a streaming frame reader plus the frame writer
+// helpers the service handlers use. Only the subset of the WHATWG
+// EventSource grammar the repo needs is implemented — id/event/data
+// fields, comment lines, and blank-line dispatch; retry hints are parsed
+// and exposed but nothing reconnects automatically.
+package sse
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+)
+
+// Event is one dispatched server-sent event.
+type Event struct {
+	// ID is the frame's last "id:" field (the bus sequence number in
+	// dartd's streams), empty when absent.
+	ID string
+	// Name is the frame's "event:" field; dartd uses the event kind
+	// (job, queue, solver, component, span, ledger) plus "snapshot".
+	// Defaults to "message" per the EventSource spec.
+	Name string
+	// Data joins the frame's "data:" lines with newlines.
+	Data string
+}
+
+// Reader incrementally decodes an event stream.
+type Reader struct {
+	sc  *bufio.Scanner
+	err error
+}
+
+// NewReader decodes events from r. Frames larger than 4 MiB fail the
+// stream.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	return &Reader{sc: sc}
+}
+
+// Next blocks until one full event is dispatched, the stream ends
+// (io.EOF), or reading fails. Comment lines and frames without data are
+// skipped, per the spec.
+func (r *Reader) Next() (Event, error) {
+	if r.err != nil {
+		return Event{}, r.err
+	}
+	ev := Event{Name: "message"}
+	dispatch := false
+	var data []string
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		if line == "" {
+			// Blank line dispatches the pending frame — unless it held no
+			// data (e.g. a heartbeat comment), in which case keep reading.
+			if dispatch {
+				ev.Data = strings.Join(data, "\n")
+				return ev, nil
+			}
+			ev = Event{Name: "message"}
+			data = data[:0]
+			continue
+		}
+		if strings.HasPrefix(line, ":") {
+			continue // comment / heartbeat
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			ev.ID = value
+		case "event":
+			ev.Name = value
+		case "data":
+			data = append(data, value)
+			dispatch = true
+		}
+		// Unknown fields (incl. "retry") are ignored.
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = err
+	} else {
+		r.err = io.EOF
+	}
+	return Event{}, r.err
+}
+
+// WriteEvent emits one frame: optional id and event name, one data line
+// per newline-separated chunk, and the dispatching blank line. The caller
+// flushes.
+func WriteEvent(w io.Writer, id, name string, data []byte) error {
+	var b bytes.Buffer
+	if id != "" {
+		b.WriteString("id: ")
+		b.WriteString(id)
+		b.WriteByte('\n')
+	}
+	if name != "" {
+		b.WriteString("event: ")
+		b.WriteString(name)
+		b.WriteByte('\n')
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		b.WriteString("data: ")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// WriteComment emits one comment line (a keep-alive heartbeat).
+func WriteComment(w io.Writer, text string) error {
+	_, err := io.WriteString(w, ": "+text+"\n\n")
+	return err
+}

@@ -1,0 +1,67 @@
+package sse
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEvent(&buf, "7", "solver", []byte(`{"gap":0.5}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteComment(&buf, "hb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEvent(&buf, "", "", []byte("line1\nline2")); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	ev, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ID != "7" || ev.Name != "solver" || ev.Data != `{"gap":0.5}` {
+		t.Fatalf("first event = %+v", ev)
+	}
+	ev, err = r.Next() // heartbeat skipped transparently
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Name != "message" || ev.Data != "line1\nline2" {
+		t.Fatalf("second event = %+v", ev)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("repeated read err = %v, want EOF", err)
+	}
+}
+
+func TestReaderSpecQuirks(t *testing.T) {
+	stream := "" +
+		": leading comment\n\n" +
+		"id:12\nevent:job\ndata:no-space-value\n\n" +
+		"event: dataless-frame-skipped\n\n" +
+		"retry: 1000\ndata: after-retry\n\n"
+	r := NewReader(strings.NewReader(stream))
+	ev, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ID != "12" || ev.Name != "job" || ev.Data != "no-space-value" {
+		t.Fatalf("event = %+v", ev)
+	}
+	ev, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dataless frame is skipped; the retry field is ignored.
+	if ev.Name != "message" || ev.Data != "after-retry" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
